@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction benches.
+ *
+ * Every binary under bench/ regenerates one table or figure of the
+ * paper: it prints the same rows/series the paper reports (FIT in
+ * arbitrary units, so shapes — orderings, ratios, crossovers — are
+ * the comparison targets, not absolute values), then optionally runs
+ * a google-benchmark timing of the underlying simulated kernels.
+ *
+ * Usage: <bench> [trials] [scale]
+ *   trials  injection trials per campaign (default per bench)
+ *   scale   workload problem-size knob (default per bench)
+ */
+
+#ifndef MPARCH_BENCH_BENCH_UTIL_HH
+#define MPARCH_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/study.hh"
+#include "nn/nn_workloads.hh"
+
+namespace mparch::bench {
+
+/** Command-line knobs common to all benches. */
+struct BenchArgs
+{
+    std::uint64_t trials;
+    double scale;
+};
+
+/** Parse "[trials] [scale]" with bench-specific defaults. */
+inline BenchArgs
+parseArgs(int argc, char **argv, std::uint64_t default_trials,
+          double default_scale)
+{
+    BenchArgs args{default_trials, default_scale};
+    if (argc > 1 && std::atoll(argv[1]) > 0)
+        args.trials = static_cast<std::uint64_t>(std::atoll(argv[1]));
+    if (argc > 2 && std::atof(argv[2]) > 0.0)
+        args.scale = std::atof(argv[2]);
+    return args;
+}
+
+/** Print the bench banner: what is reproduced and what must hold. */
+inline void
+banner(const std::string &what, const std::string &shape_target)
+{
+    std::cout << "=============================================="
+                 "==============\n"
+              << what << "\n"
+              << "shape target: " << shape_target << "\n"
+              << "=============================================="
+                 "==============\n";
+}
+
+/** Run one study, with progress feedback on stderr. */
+inline core::StudyResult
+study(core::Architecture arch, const std::string &workload,
+      const BenchArgs &args,
+      std::vector<fp::Precision> precisions = {})
+{
+    core::StudyConfig config;
+    config.arch = arch;
+    config.workload = workload;
+    config.trials = args.trials;
+    config.scale = args.scale;
+    config.precisions = std::move(precisions);
+    std::fprintf(stderr, "[bench] %s/%s: running campaigns...\n",
+                 core::architectureName(arch), workload.c_str());
+    return core::runStudy(config);
+}
+
+/**
+ * Register a google-benchmark that times one fault-free execution of
+ * the simulated kernel (the cost of the softfloat substrate itself).
+ */
+inline void
+registerKernelTiming(const std::string &workload, fp::Precision p,
+                     double scale)
+{
+    const std::string label = "simulate/" + workload + "/" +
+                              std::string(fp::precisionName(p));
+    benchmark::RegisterBenchmark(
+        label.c_str(),
+        [workload, p, scale](benchmark::State &state) {
+            auto w = nn::makeAnyWorkload(workload, p, scale);
+            w->reset(1);
+            for (auto _ : state) {
+                workloads::ExecutionEnv env;
+                w->execute(env);
+                benchmark::DoNotOptimize(env.ticks());
+            }
+        });
+}
+
+/** Run any registered google-benchmarks (after table output). */
+inline void
+runRegisteredBenchmarks(int *argc, char **argv)
+{
+    benchmark::Initialize(argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+}
+
+} // namespace mparch::bench
+
+#endif // MPARCH_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces Figure 9: Mean Executions Between Failures on the Phi.
+ *
+ * Shape targets: single wins for LavaMD and LUD (its ~35% speedup
+ * outruns its higher FIT), while double wins for MxM (single is both
+ * slower and more exposed).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mparch;
+    const auto args = bench::parseArgs(argc, argv, 300, 0.3);
+    bench::banner("Figure 9: Xeon Phi MEBF (a.u.)",
+                  "single wins LavaMD and LUD; double wins MxM");
+
+    Table table({"benchmark", "mebf-double", "mebf-single",
+                 "single/double", "winner"});
+    for (const std::string name : {"lavamd", "mxm", "lud"}) {
+        const auto result =
+            bench::study(core::Architecture::XeonPhi, name, args);
+        const double md = result.find(fp::Precision::Double)->mebf;
+        const double ms = result.find(fp::Precision::Single)->mebf;
+        table.row()
+            .cell(name)
+            .cell(md, 4)
+            .cell(ms, 4)
+            .cell(ms / md, 2)
+            .cell(ms > md ? "single" : "double");
+    }
+    table.print(std::cout);
+
+    bench::runRegisteredBenchmarks(&argc, argv);
+    return 0;
+}

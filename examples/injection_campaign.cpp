@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Drive the fault-injection layer directly, below the study API:
+ * run CAROL-FI-style memory campaigns and functional-unit datapath
+ * campaigns against one workload, print the Masked/SDC/DUE
+ * accounting with confidence intervals, and show how the SDC corpus
+ * feeds the TRE analysis.
+ *
+ *   $ ./injection_campaign [workload] [precision] [trials]
+ *
+ * This is the level to work at when adding a new fault model or a
+ * new injection site class.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "fault/campaign.hh"
+#include "metrics/metrics.hh"
+#include "nn/nn_workloads.hh"
+
+namespace {
+
+using namespace mparch;
+
+void
+printCampaign(const char *title, const fault::CampaignResult &r)
+{
+    const Interval ci = r.avfSdc95();
+    std::cout << title << ":\n"
+              << "  trials " << r.trials << " | masked " << r.masked
+              << " | sdc " << r.sdc << " | due " << r.due << "\n"
+              << "  AVF(SDC) = " << r.avfSdc() << "  [" << ci.lo
+              << ", " << ci.hi << "] (Wilson 95%)\n";
+    std::cout << "  FIT remaining at TRE = {0, 0.1%, 1%, 10%}: ";
+    for (double tre : {0.0, 1e-3, 1e-2, 1e-1})
+        std::cout << r.survivingFraction(tre) << " ";
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mparch;
+
+    const std::string workload = argc > 1 ? argv[1] : "mxm";
+    fp::Precision precision = fp::Precision::Single;
+    if (argc > 2) {
+        if (!std::strcmp(argv[2], "double"))
+            precision = fp::Precision::Double;
+        else if (!std::strcmp(argv[2], "half"))
+            precision = fp::Precision::Half;
+    }
+    fault::CampaignConfig config;
+    config.trials = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                             : 500;
+
+    auto w = nn::makeAnyWorkload(workload, precision, 0.2);
+    std::cout << "Workload " << w->name() << " at "
+              << fp::precisionName(precision) << ", "
+              << config.trials << " trials per campaign.\n\n";
+
+    // A fault-free golden run also profiles the instruction mix.
+    const fault::GoldenRun golden(*w, config.inputSeed);
+    std::cout << "Golden run: " << golden.ops.totalOps()
+              << " FP operations (";
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(fp::OpKind::NumKinds); ++k) {
+        const auto kind = static_cast<fp::OpKind>(k);
+        if (golden.ops.count(kind))
+            std::cout << fp::opKindName(kind) << "="
+                      << golden.ops.count(kind) << " ";
+    }
+    std::cout << "), " << golden.outputBits.size()
+              << " output values.\n\n";
+
+    // CAROL-FI protocol: corrupt a live variable at a random tick.
+    printCampaign("Memory campaign (CAROL-FI single bit flip)",
+                  fault::runMemoryCampaign(*w, config));
+    std::cout << "\n";
+
+    // Beam-like: corrupt one datapath stage of one dynamic op.
+    printCampaign("Datapath campaign (functional-unit strike)",
+                  fault::runDatapathCampaign(*w, config));
+    std::cout << "\n";
+
+    // Same, with the coarser CAROL-FI fault models.
+    for (auto model :
+         {fault::FaultModel::DoubleBitFlip,
+          fault::FaultModel::RandomByte,
+          fault::FaultModel::RandomValue}) {
+        fault::CampaignConfig alt = config;
+        alt.model = model;
+        const std::string title =
+            std::string("Memory campaign (") +
+            fault::faultModelName(model) + ")";
+        printCampaign(title.c_str(),
+                      fault::runMemoryCampaign(*w, alt));
+        std::cout << "\n";
+    }
+    return 0;
+}

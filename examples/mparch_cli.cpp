@@ -1,0 +1,255 @@
+/**
+ * @file
+ * mparch_cli — command-line frontend over the whole public API.
+ *
+ * Subcommands:
+ *
+ *   study    --arch fpga|xeon-phi|gpu --workload NAME
+ *            [--precision double|single|half|bfloat16] [--trials N]
+ *            [--scale S] [--csv FILE] [--json FILE]
+ *     Run the full reliability study (FIT, MEBF, TRE, criticality).
+ *
+ *   campaign --workload NAME --precision P
+ *            [--site memory|datapath] [--model single-bit-flip|
+ *            double-bit-flip|random-byte|random-value] [--trials N]
+ *            [--scale S]
+ *     Run one injection campaign and print the outcome accounting.
+ *
+ *   beamplan --fit-per-hour R [--errors N] [--flux F]
+ *     Size a (virtual) beam campaign the way the paper sizes real
+ *     ones: hours needed, natural-exposure equivalence.
+ *
+ * Exit code 0 on success; 1 on usage errors (via fatal()).
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "beam/exposure.hh"
+#include "common/table.hh"
+#include "core/study.hh"
+#include "fault/campaign.hh"
+#include "nn/nn_workloads.hh"
+
+namespace {
+
+using namespace mparch;
+
+/** Minimal --flag value parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i + 1 < argc; i += 2) {
+            if (argv[i][0] != '-' || argv[i][1] != '-')
+                fatal("expected --flag, got '", argv[i], "'");
+            values_[argv[i] + 2] = argv[i + 1];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    double
+    getNum(const std::string &key, double fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::atof(it->second.c_str());
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+fp::Precision
+parsePrecision(const std::string &text)
+{
+    if (text == "double")
+        return fp::Precision::Double;
+    if (text == "single")
+        return fp::Precision::Single;
+    if (text == "half")
+        return fp::Precision::Half;
+    if (text == "bfloat16")
+        return fp::Precision::Bfloat16;
+    fatal("unknown precision '", text, "'");
+}
+
+core::Architecture
+parseArch(const std::string &text)
+{
+    if (text == "fpga")
+        return core::Architecture::Fpga;
+    if (text == "xeon-phi")
+        return core::Architecture::XeonPhi;
+    if (text == "gpu")
+        return core::Architecture::Gpu;
+    fatal("unknown architecture '", text, "'");
+}
+
+fault::FaultModel
+parseModel(const std::string &text)
+{
+    for (auto model : {fault::FaultModel::SingleBitFlip,
+                       fault::FaultModel::DoubleBitFlip,
+                       fault::FaultModel::RandomByte,
+                       fault::FaultModel::RandomValue}) {
+        if (text == fault::faultModelName(model))
+            return model;
+    }
+    fatal("unknown fault model '", text, "'");
+}
+
+int
+cmdStudy(const Args &args)
+{
+    core::StudyConfig config;
+    config.arch = parseArch(args.get("arch", "gpu"));
+    config.workload = args.get("workload", "mxm");
+    config.trials =
+        static_cast<std::uint64_t>(args.getNum("trials", 300));
+    config.scale = args.getNum("scale", 0.2);
+    const std::string precision = args.get("precision", "");
+    if (!precision.empty())
+        config.precisions = {parsePrecision(precision)};
+
+    const core::StudyResult result = core::runStudy(config);
+    result.printReport(std::cout);
+
+    const std::string json_path = args.get("json", "");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            fatal("cannot write '", json_path, "'");
+        result.writeJson(out);
+        std::cout << "wrote " << json_path << "\n";
+    }
+
+    const std::string csv_path = args.get("csv", "");
+    if (!csv_path.empty()) {
+        Table csv({"arch", "workload", "precision", "fit_sdc",
+                   "fit_due", "time_s", "mebf", "avf_dp", "pvf"});
+        for (const auto &row : result.rows) {
+            csv.row()
+                .cell(core::architectureName(config.arch))
+                .cell(config.workload)
+                .cell(std::string(fp::precisionName(row.precision)))
+                .cell(row.fitSdc, 3)
+                .cell(row.fitDue, 3)
+                .cell(row.timeSeconds, 9)
+                .cell(row.mebf, 6)
+                .cell(row.avfDatapath, 4)
+                .cell(row.pvf, 4);
+        }
+        std::ofstream out(csv_path);
+        if (!out)
+            fatal("cannot write '", csv_path, "'");
+        csv.printCsv(out);
+        std::cout << "wrote " << csv_path << "\n";
+    }
+    return 0;
+}
+
+int
+cmdCampaign(const Args &args)
+{
+    const std::string workload = args.get("workload", "mxm");
+    const fp::Precision precision =
+        parsePrecision(args.get("precision", "single"));
+    auto w = nn::makeAnyWorkload(workload, precision,
+                                 args.getNum("scale", 0.2));
+
+    fault::CampaignConfig config;
+    config.trials =
+        static_cast<std::uint64_t>(args.getNum("trials", 500));
+    config.model =
+        parseModel(args.get("model", "single-bit-flip"));
+    config.recordAnatomy = true;
+
+    const std::string site = args.get("site", "memory");
+    fault::CampaignResult r;
+    if (site == "memory") {
+        r = fault::runMemoryCampaign(*w, config);
+    } else if (site == "datapath") {
+        r = fault::runDatapathCampaign(*w, config);
+    } else {
+        fatal("unknown site '", site, "' (memory | datapath)");
+    }
+
+    Table table({"metric", "value"});
+    table.setTitle(workload + " / " +
+                   std::string(fp::precisionName(precision)) + " / " +
+                   site + " / " + fault::faultModelName(config.model));
+    const Interval ci = r.avfSdc95();
+    table.row().cell("trials").cell(
+        static_cast<std::int64_t>(r.trials));
+    table.row().cell("masked").cell(
+        static_cast<std::int64_t>(r.masked));
+    table.row().cell("sdc").cell(static_cast<std::int64_t>(r.sdc));
+    table.row().cell("detected").cell(
+        static_cast<std::int64_t>(r.detected));
+    table.row().cell("due").cell(static_cast<std::int64_t>(r.due));
+    table.row().cell("avf-sdc").cell(r.avfSdc(), 4);
+    table.row().cell("avf-sdc ci95-lo").cell(ci.lo, 4);
+    table.row().cell("avf-sdc ci95-hi").cell(ci.hi, 4);
+    table.row().cell("remaining @ TRE 0.1%").cell(
+        r.survivingFraction(1e-3), 4);
+    table.row().cell("remaining @ TRE 1%").cell(
+        r.survivingFraction(1e-2), 4);
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdBeamPlan(const Args &args)
+{
+    const double rate = args.getNum("fit-per-hour", 0.0);
+    if (rate <= 0.0)
+        fatal("beamplan needs --fit-per-hour > 0");
+    const double errors = args.getNum("errors", 100.0);
+    const double flux = args.getNum("flux", 13.0 * 1e6);
+
+    const double hours = beam::beamHoursForErrors(rate, errors);
+    const double acc = beam::accelerationFactor(flux);
+    Table table({"quantity", "value"});
+    table.setTitle("beam campaign plan");
+    table.row().cell("target errors").cell(errors, 0);
+    table.row().cell("beam error rate [1/h]").cell(rate, 3);
+    table.row().cell("beam hours needed").cell(hours, 1);
+    table.row().cell("acceleration vs nature").cell(acc, 0);
+    table.row().cell("natural years represented").cell(
+        beam::naturalYearsEquivalent(hours, acc), 0);
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: mparch_cli <study|campaign|beamplan> "
+                     "[--flag value ...]\n"
+                     "see the file header for the full flag list\n";
+        return 1;
+    }
+    const Args args(argc, argv, 2);
+    const std::string cmd = argv[1];
+    if (cmd == "study")
+        return cmdStudy(args);
+    if (cmd == "campaign")
+        return cmdCampaign(args);
+    if (cmd == "beamplan")
+        return cmdBeamPlan(args);
+    fatal("unknown subcommand '", cmd, "'");
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: evaluate the reliability of one benchmark on one
+ * architecture across every precision it supports, using the
+ * top-level study API.
+ *
+ *   $ ./quickstart [arch] [workload]
+ *   arch     fpga | xeon-phi | gpu       (default gpu)
+ *   workload mxm | lavamd | lud | micro-add | micro-mul | micro-fma
+ *            | mnist | yolite            (default mxm)
+ *
+ * The report lists, per precision: SDC/DUE FIT (arbitrary units,
+ * like the paper), the modelled execution time, the MEBF
+ * reliability-performance tradeoff, the measured propagation
+ * probabilities (datapath AVF and CAROL-FI-style PVF) and the
+ * FIT-reduction-vs-TRE curve.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/study.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mparch;
+
+    core::StudyConfig config;
+    config.arch = core::Architecture::Gpu;
+    config.workload = "mxm";
+    config.trials = 300;
+    config.scale = 0.2;
+
+    if (argc > 1) {
+        if (!std::strcmp(argv[1], "fpga"))
+            config.arch = core::Architecture::Fpga;
+        else if (!std::strcmp(argv[1], "xeon-phi"))
+            config.arch = core::Architecture::XeonPhi;
+        else if (!std::strcmp(argv[1], "gpu"))
+            config.arch = core::Architecture::Gpu;
+        else
+            fatal("unknown architecture '", argv[1],
+                  "' (want fpga | xeon-phi | gpu)");
+    }
+    if (argc > 2)
+        config.workload = argv[2];
+
+    std::cout << "Running " << config.workload << " on the simulated "
+              << core::architectureName(config.arch) << " with "
+              << config.trials
+              << " injection trials per campaign...\n\n";
+
+    const core::StudyResult result = core::runStudy(config);
+    result.printReport(std::cout);
+
+    std::cout << "\nReading the report:\n"
+              << " - fit-sdc/fit-due are in arbitrary units; compare "
+                 "across precisions, not devices.\n"
+              << " - mebf = 1 / (FIT x time): correct executions "
+                 "completed per failure.\n"
+              << " - the TRE table shows how much FIT remains once "
+                 "output deviations up to the\n"
+              << "   tolerated relative error count as acceptable "
+                 "(the paper's criticality analysis).\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+#include "arch/fpga/opcost.hh"
+
+#include <cmath>
+
+namespace mparch::fpga {
+
+using fp::Format;
+using fp::OpKind;
+
+namespace {
+
+/** Significand width including the hidden bit. */
+double
+sig(Format f)
+{
+    return static_cast<double>(f.manBits) + 1.0;
+}
+
+/** DSP slices to tile an m x m partial-product array (25x18 DSPs). */
+double
+mulDsps(Format f)
+{
+    return std::ceil(sig(f) / 17.0) * std::ceil(sig(f) / 24.0);
+}
+
+/** LUTs for a floating-point multiplier (normalise + round). */
+double
+mulLuts(Format f)
+{
+    return 8.0 * (f.manBits + f.expBits) + 120.0;
+}
+
+/** LUTs for a floating-point adder (two shifters + LZC + round). */
+double
+addLuts(Format f)
+{
+    const double m = static_cast<double>(f.manBits);
+    return 1.2 * m * std::log2(m) + 4.0 * f.expBits + 150.0;
+}
+
+} // namespace
+
+OperatorCost
+operatorCost(OpKind kind, Format f)
+{
+    const double m = static_cast<double>(f.manBits);
+    switch (kind) {
+      case OpKind::Add:
+      case OpKind::Sub:
+        return {addLuts(f), 0.0};
+      case OpKind::Mul:
+        return {mulLuts(f), mulDsps(f)};
+      case OpKind::Fma:
+        // Fused unit: multiplier plus a wide (3m) aligned adder that
+        // shares the multiplier's normalisation stage.
+        return {mulLuts(f) + 0.8 * addLuts(f), mulDsps(f)};
+      case OpKind::Div:
+        // Digit-recurrence divider: m iterations of an m-bit CSA row.
+        return {0.35 * m * m + 100.0, 0.0};
+      case OpKind::Sqrt:
+        return {0.3 * m * m + 100.0, 0.0};
+      case OpKind::Convert:
+        return {2.0 * (f.manBits + f.expBits) + 40.0, 0.0};
+      case OpKind::Exp:
+        // Polynomial evaluation unit: table + one FMA datapath.
+        return operatorCost(OpKind::Fma, f) + OperatorCost{200.0, 0.0};
+      default:
+        return {};
+    }
+}
+
+} // namespace mparch::fpga

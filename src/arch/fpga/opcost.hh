@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Per-operator FPGA resource cost model.
+ *
+ * Costs follow the structure of IEEE754 operator implementations
+ * (loosely after the Xilinx Floating-Point Operator core): a
+ * multiplier's DSP usage grows with the square of the significand
+ * width (tiling the partial-product array onto 25x18 DSP slices),
+ * while an adder's LUT usage is dominated by the two barrel shifters
+ * (m log m) plus linear normalisation/rounding logic. These scaling
+ * laws — quadratic multiply, quasi-linear add — produce the paper's
+ * Figure 2 area ratios without per-benchmark tuning.
+ */
+
+#ifndef MPARCH_ARCH_FPGA_OPCOST_HH
+#define MPARCH_ARCH_FPGA_OPCOST_HH
+
+#include "fp/format.hh"
+#include "fp/hooks.hh"
+
+namespace mparch::fpga {
+
+/** FPGA resources of one pipelined operator instance. */
+struct OperatorCost
+{
+    double luts = 0.0;
+    double dsps = 0.0;
+
+    OperatorCost
+    operator+(const OperatorCost &o) const
+    {
+        return {luts + o.luts, dsps + o.dsps};
+    }
+
+    OperatorCost
+    operator*(double k) const
+    {
+        return {luts * k, dsps * k};
+    }
+};
+
+/** Resource cost of one operator of @p kind at format @p f. */
+OperatorCost operatorCost(fp::OpKind kind, fp::Format f);
+
+} // namespace mparch::fpga
+
+#endif // MPARCH_ARCH_FPGA_OPCOST_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Zynq-7000 model parameters.
+ *
+ * Structural constants follow public Xilinx 7-series documentation;
+ * the few calibration constants (clock table, config-bit densities)
+ * are marked as such and justified inline. All FIT outputs are in
+ * arbitrary units, so only relative magnitudes matter.
+ */
+
+#ifndef MPARCH_ARCH_FPGA_PARAMS_HH
+#define MPARCH_ARCH_FPGA_PARAMS_HH
+
+#include "fp/format.hh"
+
+namespace mparch::fpga {
+
+/** Parallel processing elements instantiated per accelerator. */
+inline constexpr int kPeBudget = 16;
+
+/** Configuration bits controlling one LUT (logic + routing share). */
+inline constexpr double kConfigBitsPerLut = 280.0;
+
+/** Configuration bits controlling one DSP slice. */
+inline constexpr double kConfigBitsPerDsp = 1600.0;
+
+/** Config overhead per BRAM content bit (port/routing config). */
+inline constexpr double kConfigPerBramBit = 0.05;
+
+/** Fixed control logic of any accelerator (FSM, AXI) in LUTs. */
+inline constexpr double kControlLuts = 900.0;
+
+/** BRAM block capacity in bits (RAMB18). */
+inline constexpr double kBramBits = 18432.0;
+
+/**
+ * Achievable clock per precision in Hz.
+ *
+ * Calibration note: single-precision operators map cleanly onto the
+ * DSP48E1's 25x18 multiplier cascade; double pays a long carry /
+ * cascade chain, and half forgoes most of the DSP benefit (operands
+ * narrower than the DSP input) and routes through LUT logic. This
+ * reproduces the paper's Table 1 observation that half-precision MxM
+ * is slightly *slower* than single on the Zynq.
+ */
+constexpr double
+clockHz(fp::Precision p)
+{
+    switch (p) {
+      case fp::Precision::Double: return 150e6;
+      case fp::Precision::Single: return 195e6;
+      case fp::Precision::Half:   return 177e6;
+      case fp::Precision::Bfloat16: return 185e6;  // narrow mantissa
+    }
+    return 150e6;
+}
+
+/** Pipeline fill + AXI setup overhead in cycles. */
+inline constexpr double kFixedCycles = 2000.0;
+
+} // namespace mparch::fpga
+
+#endif // MPARCH_ARCH_FPGA_PARAMS_HH

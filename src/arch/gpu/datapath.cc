@@ -1,0 +1,74 @@
+#include "arch/gpu/datapath.hh"
+
+#include <cmath>
+
+#include "arch/gpu/params.hh"
+
+namespace mparch::gpu {
+
+using fp::OpKind;
+using fp::Precision;
+
+namespace {
+
+/** Lane state for one operation of @p kind at format width m/e. */
+double
+laneBits(OpKind kind, double m, double e)
+{
+    const double mul_array = std::pow(m, kMulBitExponent);
+    const double rounder = m + e;
+    switch (kind) {
+      case OpKind::Add:
+      case OpKind::Sub:
+        // Two aligners + shared normalise/round stage.
+        return 2.0 * (m + e) + rounder;
+      case OpKind::Mul:
+        return mul_array + rounder;
+      case OpKind::Fma:
+        // Multiplier + triple-width aligned addend + rounder.
+        return mul_array + 3.0 * m + rounder;
+      case OpKind::Div:
+      case OpKind::Sqrt:
+        // Iterative recurrence: one CSA row plus quotient state.
+        return 4.0 * m + rounder;
+      case OpKind::Convert:
+        return 2.0 * (m + e);
+      case OpKind::Exp:
+        // Realised as mul/fma chains; no dedicated lane state.
+        return 0.0;
+      default:
+        return 0.0;
+    }
+}
+
+} // namespace
+
+double
+datapathBitsPerCore(OpKind kind, Precision p)
+{
+    const fp::Format f = fp::formatOf(p);
+    const double m = static_cast<double>(f.manBits) + 1.0;
+    const double e = static_cast<double>(f.expBits);
+    return packFactor(p) * laneBits(kind, m, e) + kCoreControlBits;
+}
+
+double
+mixDatapathBitsPerCore(const fp::FpContext &ops, Precision p)
+{
+    double weighted = 0.0;
+    double total = 0.0;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(OpKind::NumKinds); ++k) {
+        const auto kind = static_cast<OpKind>(k);
+        if (kind == OpKind::Exp)
+            continue;
+        const auto count = static_cast<double>(ops.count(kind));
+        if (count <= 0.0)
+            continue;
+        weighted += count * datapathBitsPerCore(kind, p);
+        total += count;
+    }
+    return total > 0.0 ? weighted / total : 0.0;
+}
+
+} // namespace mparch::gpu

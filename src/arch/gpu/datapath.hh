@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Per-core vulnerable datapath state model for Volta.
+ *
+ * The paper explains the micro FIT trends (Figure 10a) through the
+ * amount of per-core state each operation needs at each precision:
+ * an adder's aligners and normaliser scale linearly with the
+ * significand, a multiplier's compressed partial-product state
+ * subquadratically, and an FMA adds a triple-width aligned adder on
+ * top of the multiplier. Half executes two packed lanes on an FP32
+ * core, doubling the lane state but sharing the per-core control.
+ */
+
+#ifndef MPARCH_ARCH_GPU_DATAPATH_HH
+#define MPARCH_ARCH_GPU_DATAPATH_HH
+
+#include "fp/format.hh"
+#include "fp/hooks.hh"
+
+namespace mparch::gpu {
+
+/**
+ * Vulnerable latch bits in one core executing ops of @p kind at
+ * precision @p p (lane state x packed lanes + per-core control).
+ */
+double datapathBitsPerCore(fp::OpKind kind, fp::Precision p);
+
+/**
+ * Mix-weighted per-core datapath bits for a whole kernel, from the
+ * golden run's dynamic op counts.
+ */
+double mixDatapathBitsPerCore(const fp::FpContext &ops,
+                              fp::Precision p);
+
+} // namespace mparch::gpu
+
+#endif // MPARCH_ARCH_GPU_DATAPATH_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * NVIDIA Volta (Titan V) reliability model.
+ *
+ * FIT composes three exposure terms, following the paper's Section 6
+ * analysis: (1) functional-unit datapath state — active cores times
+ * the mix-weighted per-core bits (fewer but wider FP64 cores against
+ * more FP32/half2 cores); (2) unprotected cache/memory residency,
+ * scaled by the kernel's arithmetic intensity (why the non-tiled MxM
+ * dwarfs LavaMD); (3) scheduler/control state whose upsets become
+ * DUEs, scaled by branch density (why CNNs crash more). AVFs are
+ * measured by injection, never assumed.
+ */
+
+#ifndef MPARCH_ARCH_GPU_GPU_HH
+#define MPARCH_ARCH_GPU_GPU_HH
+
+#include "arch/gpu/datapath.hh"
+#include "arch/gpu/regfile.hh"
+#include "beam/inventory.hh"
+#include "fault/campaign.hh"
+#include "workloads/workload.hh"
+
+namespace mparch::gpu {
+
+/** Full reliability evaluation of one (workload, precision). */
+struct GpuEvaluation
+{
+    /** Functional-unit strike campaign (AVF + TRE corpus). */
+    fault::CampaignResult datapathCampaign;
+
+    /** Cache/memory-resident data campaign. */
+    fault::CampaignResult memoryCampaign;
+
+    beam::ResourceInventory inventory;
+
+    double fitSdc = 0.0;       ///< a.u. (Figures 10a/10b/10c)
+    double fitDue = 0.0;       ///< a.u.
+    double timeSeconds = 0.0;  ///< Table 3 model
+    double mebf = 0.0;         ///< a.u. (Figure 13)
+};
+
+/** Evaluation knobs. */
+struct GpuOptions
+{
+    std::uint64_t datapathTrials = 500;
+    std::uint64_t memoryTrials = 400;
+    std::uint64_t seed = 31;
+};
+
+/** Execution-time model only (Table 3). */
+double gpuTimeSeconds(workloads::Workload &w,
+                      const fault::GoldenRun &golden);
+
+/** Run campaigns and assemble FIT/MEBF. */
+GpuEvaluation evaluateGpu(workloads::Workload &w,
+                          const GpuOptions &options = {});
+
+} // namespace mparch::gpu
+
+#endif // MPARCH_ARCH_GPU_GPU_HH

@@ -1,0 +1,25 @@
+#include "arch/phi/compiler_model.hh"
+
+#include <algorithm>
+
+#include "arch/phi/params.hh"
+
+namespace mparch::phi {
+
+CompiledKernel
+compileKernel(const workloads::KernelDesc &desc, fp::Precision p)
+{
+    CompiledKernel out;
+    out.simdLanes = lanes(p);
+    out.pipelineDepth =
+        desc.dataDependentBounds ? 1 : pipelineDepth(p);
+
+    int regs = desc.inputStreams * kRegsPerStream;
+    if (desc.usesTranscendental)
+        regs += kTranscendentalRegs;
+    regs += desc.liveValues * out.pipelineDepth;
+    out.vectorRegisters = std::min(regs, kVectorRegisters);
+    return out;
+}
+
+} // namespace mparch::phi

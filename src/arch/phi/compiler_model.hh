@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Vectorising-compiler register-allocation model for KNC.
+ *
+ * The paper derives its Xeon Phi reliability story from the Intel
+ * compiler's optimisation reports: the single-precision builds of
+ * LavaMD and MxM instantiate 33% / 47% more vector registers than the
+ * double builds, while LUD allocates the same — and register pressure
+ * proxies the use of unprotected functional units and queues
+ * (Section 5). This model reproduces those register counts from the
+ * kernels' structural descriptors instead of hard-coding them:
+ *
+ *   registers = streams * 2                (load + prefetch shadows)
+ *             + transcendental interface   (precision-independent)
+ *             + liveValues * depth         (software pipelining)
+ *
+ * where depth is 2 for full-rate single-precision FMA issue and 1
+ * for double's half-rate issue — unless the loop bounds are data
+ * dependent (LUD's shrinking triangles), which defeats static
+ * unrolling and forces depth 1 for both.
+ */
+
+#ifndef MPARCH_ARCH_PHI_COMPILER_MODEL_HH
+#define MPARCH_ARCH_PHI_COMPILER_MODEL_HH
+
+#include "workloads/workload.hh"
+
+namespace mparch::phi {
+
+/** What the model says the compiler emitted for one kernel build. */
+struct CompiledKernel
+{
+    int vectorRegisters = 0;  ///< instantiated vector registers
+    int pipelineDepth = 1;    ///< unroll used to hide FMA latency
+    int simdLanes = 8;        ///< elements per vector op
+};
+
+/** Model the compiler's output for one kernel at one precision. */
+CompiledKernel compileKernel(const workloads::KernelDesc &desc,
+                             fp::Precision p);
+
+} // namespace mparch::phi
+
+#endif // MPARCH_ARCH_PHI_COMPILER_MODEL_HH

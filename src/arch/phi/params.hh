@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Intel Xeon Phi 3120A (Knights Corner) model parameters.
+ *
+ * Structural constants follow the Xeon Phi System Software Developer's
+ * Guide [22] as cited by the paper: 57 in-order cores, one 512-bit
+ * VPU each (16 single / 8 double lanes), 32 vector registers, MCA
+ * with SECDED ECC on the major memory structures. Calibration
+ * constants are marked as such.
+ */
+
+#ifndef MPARCH_ARCH_PHI_PARAMS_HH
+#define MPARCH_ARCH_PHI_PARAMS_HH
+
+#include "fp/format.hh"
+
+namespace mparch::phi {
+
+/** Physical cores. */
+inline constexpr int kCores = 57;
+
+/** VPU width in bits. */
+inline constexpr int kVpuBits = 512;
+
+/** Architectural vector registers per core. */
+inline constexpr int kVectorRegisters = 32;
+
+/** Core clock in Hz (1.1 GHz nominal for the 3120A). */
+inline constexpr double kClockHz = 1.1e9;
+
+/** SIMD lanes at a given precision (half unsupported on KNC). */
+constexpr int
+lanes(fp::Precision p)
+{
+    return kVpuBits / fp::formatOf(p).totalBits;
+}
+
+/**
+ * Unprotected state per instantiated vector register, in bits.
+ *
+ * MCA/ECC protects the register file itself; the paper reads the
+ * compiler's register pressure as a *symptom* of functional-unit and
+ * internal-queue usage, which is unprotected (Section 5). This
+ * constant converts "registers instantiated" into "exposed latch
+ * bits" — calibration, order of a pipeline stage per register.
+ */
+inline constexpr double kUnprotectedBitsPerReg = 96.0;
+
+/** Control/sequencing bits per active SIMD lane (masks, µcode). */
+inline constexpr double kControlBitsPerLane = 20.0;
+
+/** Fixed per-core control exposure (decode, retire, TLB tags). */
+inline constexpr double kControlBitsFixed = 220.0;
+
+/**
+ * Probability that a control-latch upset becomes a DUE rather than
+ * being architecturally masked; scaled further by the kernel's
+ * branch density. Calibration.
+ */
+inline constexpr double kControlDueFactor = 0.30;
+
+/** Software-pipelining depth per precision (see CompilerModel). */
+constexpr int
+pipelineDepth(fp::Precision p)
+{
+    // The vectoriser covers the FMA latency with independent vector
+    // iterations; double's half-rate issue needs half as many in
+    // flight.
+    return p == fp::Precision::Double ? 1 : 2;
+}
+
+/** Registers reserved when the transcendental unit is engaged. */
+inline constexpr int kTranscendentalRegs = 6;
+
+/** Streaming registers per input stream (load + prefetch shadow). */
+inline constexpr int kRegsPerStream = 2;
+
+/**
+ * Per-benchmark memory efficiency for the timing model: fraction of
+ * peak sustained when streaming at the given precision. The single-
+ * precision GEMM penalty models the prefetcher covering fewer bytes
+ * per element stream, the effect the paper's compiler reports blame
+ * for single MxM running ~13% slower than double (Section 5.4).
+ */
+constexpr double
+prefetchEfficiency(fp::Precision p, double arithmetic_intensity,
+                   bool regular_access)
+{
+    if (!regular_access)
+        return 0.6;
+    if (arithmetic_intensity < 1.0) {
+        // Memory-bound streaming: double's wider elements mean the
+        // fixed prefetch distance (in elements) covers twice the
+        // bytes, hiding more latency.
+        return p == fp::Precision::Double ? 0.55 : 0.24;
+    }
+    return 0.85;
+}
+
+/** Fixed serial overhead per execution in seconds (offload, setup),
+ *  scaled to the library's reduced problem sizes. */
+inline constexpr double kSerialOverhead = 4e-6;
+
+} // namespace mparch::phi
+
+#endif // MPARCH_ARCH_PHI_PARAMS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Xeon Phi (KNC) reliability model.
+ *
+ * The paper's Phi analysis (Section 5) rests on three mechanisms,
+ * all modelled here: (1) the compiler instantiates more vector
+ * registers for single precision, a symptom of higher unprotected
+ * functional-unit/queue usage, so single's raw fault rate is higher;
+ * (2) the probability of propagation (PVF, CAROL-FI single-bit flips
+ * in program variables) is precision-independent; (3) 16 single
+ * lanes carry twice the control state of 8 double lanes, raising the
+ * single-precision DUE rate for every code.
+ */
+
+#ifndef MPARCH_ARCH_PHI_PHI_HH
+#define MPARCH_ARCH_PHI_PHI_HH
+
+#include "arch/phi/compiler_model.hh"
+#include "beam/inventory.hh"
+#include "fault/campaign.hh"
+#include "workloads/workload.hh"
+
+namespace mparch::phi {
+
+/** Full reliability evaluation of one (workload, precision). */
+struct PhiEvaluation
+{
+    CompiledKernel compiled;
+
+    /** CAROL-FI-style variable injection (PVF, Figure 7). */
+    fault::CampaignResult pvfCampaign;
+
+    /** Functional-unit injection (beam-like AVF + TRE corpus). */
+    fault::CampaignResult datapathCampaign;
+
+    beam::ResourceInventory inventory;
+
+    double fitSdc = 0.0;       ///< a.u. (Figure 6)
+    double fitDue = 0.0;       ///< a.u. (Figure 6)
+    double timeSeconds = 0.0;  ///< Table 2 model
+    double mebf = 0.0;         ///< a.u. (Figure 9)
+};
+
+/** Evaluation knobs. */
+struct PhiOptions
+{
+    std::uint64_t pvfTrials = 500;
+    std::uint64_t datapathTrials = 500;
+    std::uint64_t seed = 23;
+};
+
+/** Execution-time model only (Table 2). */
+double phiTimeSeconds(workloads::Workload &w,
+                      const fault::GoldenRun &golden);
+
+/** Run campaigns and assemble FIT/PVF/MEBF. */
+PhiEvaluation evaluatePhi(workloads::Workload &w,
+                          const PhiOptions &options = {});
+
+} // namespace mparch::phi
+
+#endif // MPARCH_ARCH_PHI_PHI_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Exposed-resource inventories and the analytic FIT estimator.
+ *
+ * The paper explains its beam results by decomposing FIT into "the
+ * probability of a fault to occur" (how many sensitive bits are
+ * exposed) times "the probability of a fault to propagate to the
+ * output" (AVF/PVF, measured by injection) — Section 5.2. The
+ * ResourceInventory encodes the first factor per resource class; the
+ * architecture models fill in measured AVFs for the second.
+ */
+
+#ifndef MPARCH_BEAM_INVENTORY_HH
+#define MPARCH_BEAM_INVENTORY_HH
+
+#include <string>
+#include <vector>
+
+#include "beam/sensitivity.hh"
+
+namespace mparch::beam {
+
+/** One class of exposed resource with its measured vulnerability. */
+struct ResourceEntry
+{
+    std::string name;       ///< e.g. "fp32-datapath", "vpu-control"
+    BitClass bitClass = BitClass::DatapathLatch;
+    double bits = 0.0;      ///< sensitive bits exposed on average
+    double avfSdc = 0.0;    ///< P(upset here -> SDC), measured
+    double avfDue = 0.0;    ///< P(upset here -> DUE)
+};
+
+/** The full exposure picture of one (device, workload, precision). */
+struct ResourceInventory
+{
+    Node node = Node::Gpu12nm;
+    std::vector<ResourceEntry> entries;
+
+    /** Analytic SDC FIT in arbitrary units. */
+    double
+    fitSdc() const
+    {
+        double fit = 0.0;
+        for (const auto &e : entries)
+            fit += e.bits * bitSensitivity(node, e.bitClass) * e.avfSdc;
+        return fit;
+    }
+
+    /** Analytic DUE FIT in arbitrary units. */
+    double
+    fitDue() const
+    {
+        double fit = 0.0;
+        for (const auto &e : entries)
+            fit += e.bits * bitSensitivity(node, e.bitClass) * e.avfDue;
+        return fit;
+    }
+
+    /** Total raw fault arrival rate (before propagation masking). */
+    double
+    rawRate() const
+    {
+        double rate = 0.0;
+        for (const auto &e : entries)
+            rate += e.bits * bitSensitivity(node, e.bitClass);
+        return rate;
+    }
+};
+
+} // namespace mparch::beam
+
+#endif // MPARCH_BEAM_INVENTORY_HH

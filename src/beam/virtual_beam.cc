@@ -1,0 +1,53 @@
+#include "beam/virtual_beam.hh"
+
+#include "common/logging.hh"
+
+namespace mparch::beam {
+
+BeamResult
+runBeam(const ResourceInventory &inventory, double fluence, Rng &rng,
+        const FaultResolver &resolver)
+{
+    MPARCH_ASSERT(fluence > 0.0, "fluence must be positive");
+    const double rate = inventory.rawRate();
+    BeamResult result;
+    result.fluence = fluence;
+    if (rate <= 0.0)
+        return result;
+
+    result.faults = rng.poisson(rate * fluence);
+
+    // Cumulative weights for class selection.
+    std::vector<double> weight;
+    weight.reserve(inventory.entries.size());
+    double total = 0.0;
+    for (const auto &e : inventory.entries) {
+        total += e.bits * bitSensitivity(inventory.node, e.bitClass);
+        weight.push_back(total);
+    }
+
+    for (std::uint64_t fault = 0; fault < result.faults; ++fault) {
+        const double draw = rng.uniform(0.0, total);
+        std::size_t index = 0;
+        while (index + 1 < weight.size() && draw >= weight[index])
+            ++index;
+
+        BeamOutcome outcome;
+        if (resolver) {
+            outcome = resolver(index, rng);
+        } else {
+            const auto &e = inventory.entries[index];
+            const double u = rng.uniform();
+            outcome = u < e.avfSdc ? BeamOutcome::Sdc
+                      : u < e.avfSdc + e.avfDue ? BeamOutcome::Due
+                                                : BeamOutcome::Masked;
+        }
+        if (outcome == BeamOutcome::Sdc)
+            ++result.sdc;
+        else if (outcome == BeamOutcome::Due)
+            ++result.due;
+    }
+    return result;
+}
+
+} // namespace mparch::beam

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the softfloat core and the fault
+ * injectors.
+ */
+
+#ifndef MPARCH_COMMON_BITS_HH
+#define MPARCH_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace mparch {
+
+/** Mask with the low @p n bits set. @pre n <= 64. */
+constexpr std::uint64_t
+maskBits(unsigned n)
+{
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+/** Extract bits [lo, lo+len) of @p value. */
+constexpr std::uint64_t
+extractBits(std::uint64_t value, unsigned lo, unsigned len)
+{
+    return (value >> lo) & maskBits(len);
+}
+
+/** Return @p value with bit @p pos flipped. */
+template <typename T>
+constexpr T
+flipBit(T value, unsigned pos)
+{
+    static_assert(std::is_unsigned_v<T>, "flipBit needs unsigned storage");
+    return value ^ (T{1} << pos);
+}
+
+/** Return @p value with bit @p pos set to @p on. */
+template <typename T>
+constexpr T
+setBit(T value, unsigned pos, bool on)
+{
+    static_assert(std::is_unsigned_v<T>, "setBit needs unsigned storage");
+    const T mask = T{1} << pos;
+    return on ? (value | mask) : (value & static_cast<T>(~mask));
+}
+
+/** Test bit @p pos of @p value. */
+template <typename T>
+constexpr bool
+testBit(T value, unsigned pos)
+{
+    static_assert(std::is_unsigned_v<T>, "testBit needs unsigned storage");
+    return (value >> pos) & 1;
+}
+
+/**
+ * Index of the most significant set bit, or -1 for zero.
+ *
+ * Equivalently floor(log2(value)) for non-zero inputs.
+ */
+constexpr int
+highestSetBit(std::uint64_t value)
+{
+    return value == 0 ? -1 : 63 - std::countl_zero(value);
+}
+
+/** Count of set bits. */
+constexpr int
+popcount(std::uint64_t value)
+{
+    return std::popcount(value);
+}
+
+} // namespace mparch
+
+#endif // MPARCH_COMMON_BITS_HH

@@ -1,0 +1,38 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mparch {
+
+std::string
+LogHistogram::render(int width) const
+{
+    std::uint64_t peak = std::max(underflow(), overflow());
+    for (int i = 0; i < bucketCount(); ++i)
+        peak = std::max(peak, bucket(i));
+    if (peak == 0)
+        return "(empty)\n";
+
+    std::ostringstream os;
+    auto line = [&](const std::string &label, std::uint64_t count) {
+        if (count == 0)
+            return;
+        const int bar = static_cast<int>(
+            static_cast<double>(count) * width /
+            static_cast<double>(peak));
+        os << label;
+        for (std::size_t pad = label.size(); pad < 14; ++pad)
+            os << ' ';
+        os << std::string(static_cast<std::size_t>(std::max(bar, 1)),
+                          '#')
+           << ' ' << count << '\n';
+    };
+    line("<", underflow());
+    for (int i = 0; i < bucketCount(); ++i)
+        line(bucketLabel(i), bucket(i));
+    line(">=", overflow());
+    return os.str();
+}
+
+} // namespace mparch

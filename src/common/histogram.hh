@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Log-bucketed histogram for SDC deviation corpora.
+ *
+ * Output deviations span many decades (1e-16 ulp noise up to
+ * infinite, for NaN outputs), so the natural presentation is one
+ * bucket per decade — the same shape the TRE curves integrate.
+ */
+
+#ifndef MPARCH_COMMON_HISTOGRAM_HH
+#define MPARCH_COMMON_HISTOGRAM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mparch {
+
+/** Decade-bucketed histogram over positive values. */
+class LogHistogram
+{
+  public:
+    /**
+     * @param lo_exp First bucket covers [10^lo_exp, 10^(lo_exp+1)).
+     * @param buckets Number of decade buckets; values below the
+     *                first bucket land in an underflow bin, values
+     *                above (and infinities) in an overflow bin.
+     */
+    LogHistogram(int lo_exp, int buckets)
+        : loExp_(lo_exp), counts_(static_cast<std::size_t>(buckets) + 2)
+    {
+        MPARCH_ASSERT(buckets > 0, "histogram needs buckets");
+    }
+
+    /** Add one sample (must be >= 0; 0 counts as underflow). */
+    void
+    add(double value)
+    {
+        ++total_;
+        if (!(value > 0.0)) {
+            ++counts_.front();
+            return;
+        }
+        if (std::isinf(value)) {
+            ++counts_.back();
+            return;
+        }
+        const int decade =
+            static_cast<int>(std::floor(std::log10(value)));
+        const int idx = decade - loExp_;
+        if (idx < 0)
+            ++counts_.front();
+        else if (idx >= static_cast<int>(counts_.size()) - 2)
+            ++counts_.back();
+        else
+            ++counts_[static_cast<std::size_t>(idx) + 1];
+    }
+
+    /** Total samples added. */
+    std::uint64_t total() const { return total_; }
+
+    /** Count in decade bucket @p i (0-based, excluding under/over). */
+    std::uint64_t
+    bucket(int i) const
+    {
+        return counts_[static_cast<std::size_t>(i) + 1];
+    }
+
+    /** Samples below the first bucket (including zeros). */
+    std::uint64_t underflow() const { return counts_.front(); }
+
+    /** Samples above the last bucket (including infinities). */
+    std::uint64_t overflow() const { return counts_.back(); }
+
+    /** Number of decade buckets. */
+    int bucketCount() const
+    {
+        return static_cast<int>(counts_.size()) - 2;
+    }
+
+    /** Label of bucket @p i, e.g. "[1e-4,1e-3)". */
+    std::string
+    bucketLabel(int i) const
+    {
+        return "[1e" + std::to_string(loExp_ + i) + ",1e" +
+               std::to_string(loExp_ + i + 1) + ")";
+    }
+
+    /** ASCII bar rendering, one line per non-empty bucket. */
+    std::string render(int width = 40) const;
+
+  private:
+    int loExp_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace mparch
+
+#endif // MPARCH_COMMON_HISTOGRAM_HH

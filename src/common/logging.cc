@@ -1,0 +1,42 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mparch {
+
+namespace {
+
+/** Human-readable prefix for each severity. */
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "[mparch:%s] %s\n", levelPrefix(level),
+                 msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+logAndDie(LogLevel level, const std::string &msg)
+{
+    logMessage(level, msg);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace mparch

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (a bug in mparch itself), fatal() for conditions caused
+ * by the user (bad configuration, impossible parameters), warn() and
+ * inform() for non-fatal status messages.
+ */
+
+#ifndef MPARCH_COMMON_LOGGING_HH
+#define MPARCH_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mparch {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a log message to stderr.
+ *
+ * Fatal terminates the process with exit(1); Panic calls abort().
+ *
+ * @param level Message severity.
+ * @param msg   Fully formatted message text.
+ */
+[[noreturn]] void logAndDie(LogLevel level, const std::string &msg);
+
+/** Emit a non-fatal log message to stderr. */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Use when something happens that should never happen regardless of
+ * user input — i.e. an mparch bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    logAndDie(LogLevel::Panic, detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ *
+ * Use when the simulation cannot continue due to a condition that is
+ * the user's fault (bad configuration, invalid arguments).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    logAndDie(LogLevel::Fatal, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about behaviour that may be wrong but lets the run continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    logMessage(LogLevel::Inform, detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Check an internal invariant; panic with location info on failure.
+ *
+ * Kept as a macro (despite the style guides' general dislike of
+ * macros) because it must capture __FILE__/__LINE__ at the call site.
+ */
+#define MPARCH_ASSERT(cond, msg)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::mparch::panic("assertion '", #cond, "' failed at ",           \
+                            __FILE__, ":", __LINE__, ": ", msg);            \
+        }                                                                   \
+    } while (0)
+
+} // namespace mparch
+
+#endif // MPARCH_COMMON_LOGGING_HH

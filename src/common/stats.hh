@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Streaming statistics and interval estimators for campaign results.
+ *
+ * Fault-injection campaigns produce Bernoulli outcomes (propagated /
+ * masked) and beam campaigns produce Poisson counts; both need
+ * confidence intervals so that "single > double" style conclusions in
+ * EXPERIMENTS.md are statistically grounded, as in the paper's
+ * methodology.
+ */
+
+#ifndef MPARCH_COMMON_STATS_HH
+#define MPARCH_COMMON_STATS_HH
+
+#include <cstdint>
+
+namespace mparch {
+
+/** Closed interval [lo, hi]. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    /** True if @p x lies inside the interval. */
+    bool contains(double x) const { return x >= lo && x <= hi; }
+};
+
+/**
+ * Welford streaming mean/variance accumulator.
+ *
+ * Numerically stable for long campaigns; O(1) memory.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void push(double x);
+
+    /** Number of samples seen so far. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample seen (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Standard error of the mean. */
+    double stderrMean() const;
+
+    /** Normal-approximation 95% CI for the mean. */
+    Interval ci95() const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Wilson score 95% interval for a binomial proportion.
+ *
+ * Used for AVF/PVF estimates: @p hits propagated faults out of
+ * @p trials injections.
+ */
+Interval wilson95(std::uint64_t hits, std::uint64_t trials);
+
+/**
+ * Normal-approximation 95% interval for a Poisson rate.
+ *
+ * Used for FIT estimates: @p events errors over @p exposure units of
+ * fluence/time. Falls back to the exact-ish Garwood bound behaviour
+ * for tiny counts by clamping the lower bound at zero.
+ */
+Interval poissonRate95(std::uint64_t events, double exposure);
+
+} // namespace mparch
+
+#endif // MPARCH_COMMON_STATS_HH

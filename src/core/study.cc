@@ -1,0 +1,217 @@
+#include "core/study.hh"
+
+#include <ostream>
+
+#include "arch/fpga/fpga.hh"
+#include "arch/gpu/gpu.hh"
+#include "arch/phi/phi.hh"
+#include "common/table.hh"
+#include "nn/nn_workloads.hh"
+
+namespace mparch::core {
+
+const char *
+architectureName(Architecture arch)
+{
+    switch (arch) {
+      case Architecture::Fpga:    return "fpga";
+      case Architecture::XeonPhi: return "xeon-phi";
+      case Architecture::Gpu:     return "gpu";
+    }
+    return "?";
+}
+
+std::vector<fp::Precision>
+supportedPrecisions(Architecture arch)
+{
+    using fp::Precision;
+    if (arch == Architecture::XeonPhi)
+        return {Precision::Double, Precision::Single};
+    return {Precision::Double, Precision::Single, Precision::Half};
+}
+
+const PrecisionResult *
+StudyResult::find(fp::Precision p) const
+{
+    for (const auto &row : rows)
+        if (row.precision == p)
+            return &row;
+    return nullptr;
+}
+
+namespace {
+
+PrecisionResult
+evaluateOne(const StudyConfig &config, fp::Precision p)
+{
+    PrecisionResult row;
+    row.precision = p;
+    auto w = nn::makeAnyWorkload(config.workload, p, config.scale);
+
+    switch (config.arch) {
+      case Architecture::Fpga: {
+        fpga::FpgaOptions options;
+        options.configTrials = config.trials;
+        options.bramTrials = config.trials / 2 + 1;
+        options.seed = config.seed;
+        const auto eval = fpga::evaluateFpga(*w, options);
+        row.fitSdc = eval.fitSdc;
+        row.fitDue = eval.fitDue;
+        row.timeSeconds = eval.timeSeconds;
+        row.mebf = eval.mebf;
+        row.avfDatapath = eval.configCampaign.avfSdc();
+        row.pvf = eval.bramCampaign.avfSdc();
+        row.tre = metrics::treCurve(eval.configCampaign);
+        row.severity = metrics::criticalitySplit(eval.configCampaign);
+        row.luts = eval.circuit.luts;
+        row.dsps = eval.circuit.dsps;
+        row.brams = eval.circuit.brams;
+        break;
+      }
+      case Architecture::XeonPhi: {
+        phi::PhiOptions options;
+        options.pvfTrials = config.trials;
+        options.datapathTrials = config.trials;
+        options.seed = config.seed;
+        const auto eval = phi::evaluatePhi(*w, options);
+        row.fitSdc = eval.fitSdc;
+        row.fitDue = eval.fitDue;
+        row.timeSeconds = eval.timeSeconds;
+        row.mebf = eval.mebf;
+        row.avfDatapath = eval.datapathCampaign.avfSdc();
+        row.pvf = eval.pvfCampaign.avfSdc();
+        row.tre = metrics::treCurve(eval.datapathCampaign);
+        row.severity =
+            metrics::criticalitySplit(eval.datapathCampaign);
+        row.vectorRegisters = eval.compiled.vectorRegisters;
+        break;
+      }
+      case Architecture::Gpu: {
+        gpu::GpuOptions options;
+        options.datapathTrials = config.trials;
+        options.memoryTrials = config.trials / 2 + 1;
+        options.seed = config.seed;
+        const auto eval = gpu::evaluateGpu(*w, options);
+        row.fitSdc = eval.fitSdc;
+        row.fitDue = eval.fitDue;
+        row.timeSeconds = eval.timeSeconds;
+        row.mebf = eval.mebf;
+        row.avfDatapath = eval.datapathCampaign.avfSdc();
+        row.pvf = eval.memoryCampaign.avfSdc();
+        row.tre = metrics::treCurve(eval.datapathCampaign);
+        row.severity =
+            metrics::criticalitySplit(eval.datapathCampaign);
+        break;
+      }
+    }
+    return row;
+}
+
+} // namespace
+
+StudyResult
+runStudy(const StudyConfig &config)
+{
+    StudyResult result;
+    result.config = config;
+    std::vector<fp::Precision> precisions = config.precisions;
+    if (precisions.empty())
+        precisions = supportedPrecisions(config.arch);
+    for (fp::Precision p : precisions)
+        result.rows.push_back(evaluateOne(config, p));
+    return result;
+}
+
+void
+StudyResult::printReport(std::ostream &os) const
+{
+    Table table({"precision", "fit-sdc(a.u.)", "fit-due(a.u.)",
+                 "time(s)", "mebf(a.u.)", "avf-dp", "pvf",
+                 "crit-frac"});
+    table.setTitle(std::string(architectureName(config.arch)) + " / " +
+                   config.workload);
+    for (const auto &row : rows) {
+        table.row()
+            .cell(std::string(fp::precisionName(row.precision)))
+            .cell(row.fitSdc, 1)
+            .cell(row.fitDue, 1)
+            .cell(row.timeSeconds, 9)
+            .cell(row.mebf, 4)
+            .cell(row.avfDatapath, 3)
+            .cell(row.pvf, 3)
+            .cell(row.severity.criticalChange +
+                      row.severity.detectionChange,
+                  3);
+    }
+    table.print(os);
+
+    Table tre_table({"precision", "tre", "fit-fraction-remaining"});
+    tre_table.setTitle("FIT reduction vs tolerated relative error");
+    for (const auto &row : rows) {
+        for (std::size_t i = 0; i < row.tre.thresholds.size(); ++i) {
+            tre_table.row()
+                .cell(std::string(fp::precisionName(row.precision)))
+                .cell(row.tre.thresholds[i], 4)
+                .cell(row.tre.remaining[i], 3);
+        }
+    }
+    tre_table.print(os);
+}
+
+namespace {
+
+/** Minimal JSON string escaper (names here are ASCII anyway). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    for (char ch : text) {
+        if (ch == '"' || ch == '\\')
+            out += '\\';
+        out += ch;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+StudyResult::writeJson(std::ostream &os) const
+{
+    os << "{\n"
+       << "  \"arch\": \"" << architectureName(config.arch)
+       << "\",\n"
+       << "  \"workload\": \"" << jsonEscape(config.workload)
+       << "\",\n"
+       << "  \"trials\": " << config.trials << ",\n"
+       << "  \"scale\": " << config.scale << ",\n"
+       << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &row = rows[i];
+        os << "    {\n"
+           << "      \"precision\": \""
+           << fp::precisionName(row.precision) << "\",\n"
+           << "      \"fit_sdc\": " << row.fitSdc << ",\n"
+           << "      \"fit_due\": " << row.fitDue << ",\n"
+           << "      \"time_s\": " << row.timeSeconds << ",\n"
+           << "      \"mebf\": " << row.mebf << ",\n"
+           << "      \"avf_datapath\": " << row.avfDatapath
+           << ",\n"
+           << "      \"pvf\": " << row.pvf << ",\n"
+           << "      \"severity\": {\"tolerable\": "
+           << row.severity.tolerable << ", \"detection_change\": "
+           << row.severity.detectionChange
+           << ", \"critical_change\": "
+           << row.severity.criticalChange << "},\n"
+           << "      \"tre\": [";
+        for (std::size_t t = 0; t < row.tre.thresholds.size(); ++t) {
+            os << (t ? ", " : "") << "[" << row.tre.thresholds[t]
+               << ", " << row.tre.remaining[t] << "]";
+        }
+        os << "]\n    }" << (i + 1 < rows.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace mparch::core

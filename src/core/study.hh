@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The top-level mixed-precision reliability study API.
+ *
+ * This is the library's front door: pick an architecture, a
+ * benchmark and a set of precisions, and get back the quantities the
+ * paper reports — SDC/DUE FIT (a.u.), execution time, MEBF, the
+ * FIT-reduction-vs-TRE curve and the SDC criticality split — with
+ * all AVFs measured by fault-injection campaigns against the
+ * softfloat-simulated workload.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ * @code
+ *   core::StudyConfig config;
+ *   config.arch = core::Architecture::Gpu;
+ *   config.workload = "mxm";
+ *   const core::StudyResult result = core::runStudy(config);
+ *   result.printReport(std::cout);
+ * @endcode
+ */
+
+#ifndef MPARCH_CORE_STUDY_HH
+#define MPARCH_CORE_STUDY_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hh"
+#include "workloads/workload.hh"
+
+namespace mparch::core {
+
+/** The three devices the paper irradiates. */
+enum class Architecture { Fpga, XeonPhi, Gpu };
+
+/** Name of an Architecture ("fpga", "xeon-phi", "gpu"). */
+const char *architectureName(Architecture arch);
+
+/** Precisions a device supports (KNC has no half). */
+std::vector<fp::Precision> supportedPrecisions(Architecture arch);
+
+/** Study configuration. */
+struct StudyConfig
+{
+    Architecture arch = Architecture::Gpu;
+    std::string workload = "mxm";
+
+    /** Precisions to evaluate; empty = all the device supports. */
+    std::vector<fp::Precision> precisions;
+
+    /** Problem-size knob forwarded to the workload factory. */
+    double scale = 0.15;
+
+    /** Injection trials per campaign (paper: >2000 per data type;
+     *  the default trades precision for bench turnaround). */
+    std::uint64_t trials = 400;
+
+    /** Campaign seed. */
+    std::uint64_t seed = 7;
+};
+
+/** Everything measured for one precision. */
+struct PrecisionResult
+{
+    fp::Precision precision = fp::Precision::Double;
+
+    double fitSdc = 0.0;       ///< a.u.
+    double fitDue = 0.0;       ///< a.u.
+    double timeSeconds = 0.0;  ///< modelled execution time
+    double mebf = 0.0;         ///< a.u.
+
+    /** Propagation probabilities. */
+    double avfDatapath = 0.0;  ///< functional-unit injection
+    double pvf = 0.0;          ///< variable (CAROL-FI) injection
+
+    /** FIT-reduction curve (beam-like datapath corpus). */
+    metrics::TreCurve tre;
+
+    /** SDC severity split (CNN workloads; numeric kernels report
+     *  100% critical-change and defer to TRE). */
+    metrics::CriticalitySplit severity;
+
+    /** FPGA extras (zero elsewhere). */
+    double luts = 0.0, dsps = 0.0, brams = 0.0;
+
+    /** Phi extra: instantiated vector registers (zero elsewhere). */
+    int vectorRegisters = 0;
+};
+
+/** A full study: one architecture x workload, several precisions. */
+struct StudyResult
+{
+    StudyConfig config;
+    std::vector<PrecisionResult> rows;
+
+    /** Row for a precision, if evaluated. */
+    const PrecisionResult *find(fp::Precision p) const;
+
+    /** Render a human-readable report of every metric. */
+    void printReport(std::ostream &os) const;
+
+    /** Emit the result as a JSON document (stable schema for
+     *  external tooling; see examples/mparch_cli.cpp --json). */
+    void writeJson(std::ostream &os) const;
+};
+
+/** Run the campaigns and models for every requested precision. */
+StudyResult runStudy(const StudyConfig &config);
+
+} // namespace mparch::core
+
+#endif // MPARCH_CORE_STUDY_HH

@@ -1,0 +1,423 @@
+#include "fault/campaign.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fault/hooks.hh"
+
+namespace mparch::fault {
+
+using workloads::BufferView;
+using workloads::ExecutionEnv;
+using workloads::Workload;
+
+FaultAnatomy::Field
+bitField(fp::Format f, int bit)
+{
+    if (bit == static_cast<int>(f.signPos()))
+        return FaultAnatomy::Field::Sign;
+    if (bit >= static_cast<int>(f.manBits))
+        return FaultAnatomy::Field::Exponent;
+    if (bit >= static_cast<int>(f.manBits) / 2)
+        return FaultAnatomy::Field::MantissaHigh;
+    return FaultAnatomy::Field::MantissaLow;
+}
+
+double
+CampaignResult::fieldAvf(FaultAnatomy::Field field) const
+{
+    std::uint64_t hit = 0, total = 0;
+    for (const auto &a : anatomy) {
+        if (a.field != field)
+            continue;
+        ++total;
+        hit += a.outcome == OutcomeKind::Sdc;
+    }
+    return total ? static_cast<double>(hit) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+CampaignResult::survivingFraction(double tre) const
+{
+    if (corpus.empty())
+        return 0.0;
+    std::uint64_t surviving = 0;
+    for (const auto &rec : corpus)
+        if (rec.maxRel > tre)
+            ++surviving;
+    return static_cast<double>(surviving) /
+           static_cast<double>(corpus.size());
+}
+
+double
+CampaignResult::severityFraction(workloads::SdcSeverity severity) const
+{
+    if (corpus.empty())
+        return 0.0;
+    std::uint64_t n = 0;
+    for (const auto &rec : corpus)
+        if (rec.severity == severity)
+            ++n;
+    return static_cast<double>(n) /
+           static_cast<double>(corpus.size());
+}
+
+void
+CampaignResult::merge(const CampaignResult &other)
+{
+    trials += other.trials;
+    masked += other.masked;
+    sdc += other.sdc;
+    due += other.due;
+    detected += other.detected;
+    corpus.insert(corpus.end(), other.corpus.begin(),
+                  other.corpus.end());
+}
+
+GoldenRun::GoldenRun(Workload &w, std::uint64_t input_seed)
+{
+    w.reset(input_seed);
+    ExecutionEnv env;
+    {
+        fp::FpEnvGuard guard(ops);
+        w.execute(env);
+    }
+    ticks = env.ticks();
+    const BufferView out = w.output();
+    outputBits.resize(out.count);
+    for (std::size_t i = 0; i < out.count; ++i)
+        outputBits[i] = out.get(i);
+}
+
+namespace {
+
+/** Relative deviation of a corrupted element from its golden value. */
+double
+relativeDeviation(fp::Format f, std::uint64_t corrupted,
+                  std::uint64_t golden)
+{
+    const double g = fp::fpToDouble(f, golden);
+    const double c = fp::fpToDouble(f, corrupted);
+    if (!std::isfinite(c) || !std::isfinite(g))
+        return std::numeric_limits<double>::infinity();
+    if (g == 0.0)
+        return c == 0.0 ? 0.0
+                        : std::numeric_limits<double>::infinity();
+    return std::abs((c - g) / g);
+}
+
+/** Compare the workload's output with golden and record the outcome. */
+void
+classify(Workload &w, const GoldenRun &golden, bool hung,
+         CampaignResult &result)
+{
+    ++result.trials;
+    if (hung) {
+        ++result.due;
+        return;
+    }
+    if (w.detectedError()) {
+        // The workload's own checker caught the corruption before
+        // the output was consumed: recoverable by re-execution.
+        ++result.detected;
+        return;
+    }
+    const BufferView out = w.output();
+    MPARCH_ASSERT(out.count == golden.outputBits.size(),
+                  "output size changed between runs");
+    const fp::Format f = fp::formatOf(out.precision);
+    double max_rel = 0.0;
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < out.count; ++i) {
+        const std::uint64_t bits = out.get(i);
+        if (bits == golden.outputBits[i])
+            continue;
+        ++diffs;
+        max_rel = std::max(
+            max_rel, relativeDeviation(f, bits, golden.outputBits[i]));
+    }
+    if (diffs == 0) {
+        ++result.masked;
+        return;
+    }
+    ++result.sdc;
+    SdcRecord rec;
+    rec.maxRel = max_rel;
+    rec.corruptedFraction =
+        static_cast<double>(diffs) / static_cast<double>(out.count);
+    rec.severity = w.classifySdc(golden.outputBits);
+    result.corpus.push_back(rec);
+}
+
+/** Run one armed execution under the watchdog. */
+bool  // returns "hung"
+executeArmed(Workload &w, const GoldenRun &golden,
+             const CampaignConfig &config, fp::FpHook *hook,
+             const std::function<void(std::uint64_t)> &on_tick)
+{
+    ExecutionEnv env;
+    env.tickBudget = static_cast<std::uint64_t>(
+        std::ceil(config.timeoutFactor *
+                  static_cast<double>(golden.ticks)));
+    env.onTick = on_tick;
+    fp::FpContext ctx;
+    ctx.hook = hook;
+    {
+        fp::FpEnvGuard guard(ctx);
+        w.execute(env);
+    }
+    return env.aborted();
+}
+
+} // namespace
+
+CampaignResult
+runMemoryCampaign(Workload &w, const CampaignConfig &config)
+{
+    const GoldenRun golden(w, config.inputSeed);
+    MPARCH_ASSERT(golden.ticks > 0, "workload must tick at least once");
+
+    Rng rng(config.seed);
+    CampaignResult result;
+    for (std::uint64_t t = 0; t < config.trials; ++t) {
+        w.reset(config.inputSeed);
+
+        // Pick the target: buffer weighted by bit population, then a
+        // uniform element, then the fault model's bit pattern.
+        std::vector<BufferView> views = w.buffers();
+        std::uint64_t total_bits = 0;
+        for (const auto &view : views)
+            total_bits += view.bits();
+        MPARCH_ASSERT(total_bits > 0, "no injectable bits");
+        std::uint64_t pick = rng.below(total_bits);
+        std::size_t which = 0;
+        while (pick >= views[which].bits()) {
+            pick -= views[which].bits();
+            ++which;
+        }
+        const BufferView &target = views[which];
+        const std::size_t element = rng.below(target.count);
+        const unsigned width = fp::formatOf(target.precision).totalBits;
+        const std::uint64_t inject_tick = rng.below(golden.ticks);
+        Rng payload_rng = rng.fork();
+
+        int flipped_bit = -1;
+        const auto on_tick = [&](std::uint64_t tick) {
+            if (tick != inject_tick)
+                return;
+            if (config.model == FaultModel::WordBurst) {
+                // A multi-bit upset along a physical row: the same
+                // bit position flips in up to 4 adjacent words
+                // (JESD89A-style MBU, paper reference [8]).
+                const auto bit = static_cast<unsigned>(
+                    payload_rng.below(width));
+                const std::size_t span =
+                    std::min<std::size_t>(4, target.count - element);
+                for (std::size_t k = 0; k < span; ++k) {
+                    target.set(element + k,
+                               flipBit(target.get(element + k), bit));
+                }
+                flipped_bit = static_cast<int>(bit);
+                return;
+            }
+            const std::uint64_t before = target.get(element);
+            const std::uint64_t after = applyFault(
+                config.model, payload_rng, width, before);
+            if (config.model == FaultModel::SingleBitFlip)
+                flipped_bit = highestSetBit(before ^ after);
+            target.set(element, after);
+        };
+        const bool hung =
+            executeArmed(w, golden, config, nullptr, on_tick);
+        const std::uint64_t sdc_before = result.sdc;
+        const std::uint64_t due_before = result.due;
+        const std::uint64_t det_before = result.detected;
+        classify(w, golden, hung, result);
+        if (config.recordAnatomy && flipped_bit >= 0) {
+            FaultAnatomy a;
+            a.bit = flipped_bit;
+            a.field = bitField(fp::formatOf(target.precision),
+                               flipped_bit);
+            if (result.due != due_before)
+                a.outcome = OutcomeKind::Due;
+            else if (result.detected != det_before)
+                a.outcome = OutcomeKind::Detected;
+            else if (result.sdc != sdc_before) {
+                a.outcome = OutcomeKind::Sdc;
+                a.maxRel = result.corpus.back().maxRel;
+            } else {
+                a.outcome = OutcomeKind::Masked;
+            }
+            result.anatomy.push_back(a);
+        }
+    }
+    return result;
+}
+
+CampaignResult
+runDatapathCampaign(Workload &w, const CampaignConfig &config,
+                    fp::OpKind kind_filter)
+{
+    const GoldenRun golden(w, config.inputSeed);
+    const fp::Format f = fp::formatOf(w.precision());
+
+    // Candidate kinds and their dynamic op counts (Exp is excluded:
+    // its constituent mul/fma operations are the real targets).
+    std::vector<std::pair<fp::OpKind, std::uint64_t>> kinds;
+    std::uint64_t total_ops = 0;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(fp::OpKind::NumKinds); ++k) {
+        const auto kind = static_cast<fp::OpKind>(k);
+        if (kind == fp::OpKind::Exp)
+            continue;
+        if (kind_filter != fp::OpKind::NumKinds && kind != kind_filter)
+            continue;
+        const std::uint64_t n = golden.ops.count(kind);
+        if (n == 0)
+            continue;
+        kinds.emplace_back(kind, n);
+        total_ops += n;
+    }
+    MPARCH_ASSERT(total_ops > 0, "no operations to strike");
+
+    Rng rng(config.seed);
+    CampaignResult result;
+    for (std::uint64_t t = 0; t < config.trials; ++t) {
+        w.reset(config.inputSeed);
+
+        // Uniform over dynamic operations...
+        std::uint64_t pick = rng.below(total_ops);
+        std::size_t which = 0;
+        while (pick >= kinds[which].second) {
+            pick -= kinds[which].second;
+            ++which;
+        }
+        const fp::OpKind kind = kinds[which].first;
+        const std::uint64_t index = rng.below(kinds[which].second);
+
+        // ...then a stage weighted by its bit population (optionally
+        // restricted to the operand-read stages).
+        std::size_t stage_count = 0;
+        const auto &stages = stagesFor(kind, stage_count);
+        const auto is_operand = [](fp::Stage s) {
+            return s == fp::Stage::OperandA ||
+                   s == fp::Stage::OperandB ||
+                   s == fp::Stage::OperandC;
+        };
+        std::uint64_t weight_sum = 0;
+        for (std::size_t s = 0; s < stage_count; ++s) {
+            if (config.operandStagesOnly && !is_operand(stages[s]))
+                continue;
+            weight_sum += stageWidthEstimate(stages[s], f);
+        }
+        std::uint64_t spick = rng.below(weight_sum);
+        std::size_t si = 0;
+        for (;; ++si) {
+            if (config.operandStagesOnly && !is_operand(stages[si]))
+                continue;
+            const std::uint64_t w = stageWidthEstimate(stages[si], f);
+            if (spick < w)
+                break;
+            spick -= w;
+        }
+        OneShotDatapathHook hook(kind, index, stages[si],
+                                 rng.uniform());
+
+        const bool hung =
+            executeArmed(w, golden, config, &hook, nullptr);
+        classify(w, golden, hung, result);
+    }
+    return result;
+}
+
+CampaignResult
+runPersistentCampaign(Workload &w, const CampaignConfig &config,
+                      const std::vector<EngineAllocation> &engines)
+{
+    const GoldenRun golden(w, config.inputSeed);
+    const fp::Format f = fp::formatOf(w.precision());
+
+    std::uint64_t total_units = 0;
+    for (const auto &alloc : engines)
+        total_units += alloc.units;
+    MPARCH_ASSERT(total_units > 0, "circuit has no physical units");
+
+    Rng rng(config.seed);
+    CampaignResult result;
+    for (std::uint64_t t = 0; t < config.trials; ++t) {
+        w.reset(config.inputSeed);
+
+        // A configuration upset strikes a physical operator; sample
+        // proportionally to each engine's instance count.
+        std::uint64_t pick = rng.below(total_units);
+        std::size_t which = 0;
+        while (pick >= engines[which].units) {
+            pick -= engines[which].units;
+            ++which;
+        }
+        const auto &alloc = engines[which];
+        const fp::OpKind kind = alloc.engine.kind;
+        const std::uint64_t unit = rng.below(alloc.units);
+
+        std::size_t stage_count = 0;
+        const auto &stages = stagesFor(kind, stage_count);
+        std::uint64_t weight_sum = 0;
+        for (std::size_t s = 0; s < stage_count; ++s)
+            weight_sum += stageWidthEstimate(stages[s], f);
+        std::uint64_t spick = rng.below(weight_sum);
+        std::size_t si = 0;
+        while (spick >= stageWidthEstimate(stages[si], f)) {
+            spick -= stageWidthEstimate(stages[si], f);
+            ++si;
+        }
+        // Configuration upsets rewire logic: model as stuck-at of
+        // either polarity, with an always-flip tail for upsets in
+        // inverting logic (the gate computes the complement).
+        const std::uint64_t mode_pick = rng.below(3);
+        const PersistMode mode =
+            mode_pick == 0 ? PersistMode::Flip
+            : mode_pick == 1 ? PersistMode::StuckAt0
+                             : PersistMode::StuckAt1;
+        PersistentDatapathHook hook(kind, alloc.units, unit,
+                                    stages[si], rng.uniform(),
+                                    alloc.engine.period,
+                                    alloc.engine.lo, alloc.engine.hi,
+                                    mode);
+
+        const bool hung =
+            executeArmed(w, golden, config, &hook, nullptr);
+        classify(w, golden, hung, result);
+    }
+    return result;
+}
+
+CampaignResult
+runPersistentCampaign(
+    Workload &w, const CampaignConfig &config,
+    const std::function<std::uint64_t(fp::OpKind)> &physical_units)
+{
+    const GoldenRun golden(w, config.inputSeed);
+    std::vector<EngineAllocation> engines;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(fp::OpKind::NumKinds); ++k) {
+        const auto kind = static_cast<fp::OpKind>(k);
+        if (kind == fp::OpKind::Exp)
+            continue;
+        if (golden.ops.count(kind) == 0)
+            continue;
+        const std::uint64_t units = physical_units(kind);
+        if (units == 0)
+            continue;
+        EngineAllocation alloc;
+        alloc.engine.name = fp::opKindName(kind);
+        alloc.engine.kind = kind;
+        alloc.units = units;
+        engines.push_back(alloc);
+    }
+    return runPersistentCampaign(w, config, engines);
+}
+
+} // namespace mparch::fault

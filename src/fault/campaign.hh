@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Fault-injection campaigns over workloads.
+ *
+ * A campaign repeats: reset the workload with a fixed input seed, arm
+ * one fault (in memory, in a datapath stage, or persistently in a
+ * "physical operator"), execute, and classify the outcome against a
+ * golden run. The aggregate gives the AVF/PVF (probability that a
+ * fault propagates to the output — the paper's Figures 7 and 12) and
+ * an SDC corpus of output deviations that feeds the TRE analysis
+ * (Figures 4, 8 and 11).
+ */
+
+#ifndef MPARCH_FAULT_CAMPAIGN_HH
+#define MPARCH_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "fault/model.hh"
+#include "fp/hooks.hh"
+#include "workloads/workload.hh"
+
+namespace mparch::fault {
+
+/** How one injected execution ended. */
+enum class OutcomeKind { Masked, Sdc, Due, Detected };
+
+/**
+ * Anatomy of one injected fault, for bit-position-resolved analysis
+ * (recorded by memory campaigns when CampaignConfig::recordAnatomy
+ * is set).
+ */
+struct FaultAnatomy
+{
+    /** Flipped bit position within the value (single-bit model). */
+    int bit = -1;
+
+    /** Field the bit belongs to in the target's format. */
+    enum class Field { Sign, Exponent, MantissaHigh, MantissaLow };
+    Field field = Field::MantissaLow;
+
+    OutcomeKind outcome = OutcomeKind::Masked;
+
+    /** Output deviation when the outcome was an SDC. */
+    double maxRel = 0.0;
+};
+
+/** Classify a bit position into its IEEE754 field. */
+FaultAnatomy::Field bitField(fp::Format f, int bit);
+
+/** One silent data corruption captured for post-processing. */
+struct SdcRecord
+{
+    /** Largest element-wise relative deviation from the golden run
+     *  (infinity when the corrupted output is non-finite). */
+    double maxRel = 0.0;
+
+    /** Fraction of output elements that differ from golden. */
+    double corruptedFraction = 0.0;
+
+    /** Workload-assigned semantic severity. */
+    workloads::SdcSeverity severity =
+        workloads::SdcSeverity::CriticalChange;
+};
+
+/** Aggregate result of an injection campaign. */
+struct CampaignResult
+{
+    std::uint64_t trials = 0;
+    std::uint64_t masked = 0;
+    std::uint64_t sdc = 0;
+    std::uint64_t due = 0;
+
+    /** Errors caught by the workload's own detector (DWC mismatch,
+     *  uncorrectable ABFT checksum): recoverable, so counted apart
+     *  from both SDCs and DUEs. */
+    std::uint64_t detected = 0;
+
+    /** Per-SDC deviation records (the corpus). */
+    std::vector<SdcRecord> corpus;
+
+    /** Per-trial fault anatomy (memory campaigns with
+     *  CampaignConfig::recordAnatomy; empty otherwise). */
+    std::vector<FaultAnatomy> anatomy;
+
+    /** P(SDC | flip in the given field), from the anatomy log. */
+    double fieldAvf(FaultAnatomy::Field field) const;
+
+    /** P(fault -> SDC): the AVF/PVF point estimate. */
+    double
+    avfSdc() const
+    {
+        return trials ? static_cast<double>(sdc) /
+                            static_cast<double>(trials)
+                      : 0.0;
+    }
+
+    /** Wilson 95% interval on avfSdc(). */
+    Interval avfSdc95() const { return wilson95(sdc, trials); }
+
+    /** P(fault -> DUE). */
+    double
+    avfDue() const
+    {
+        return trials ? static_cast<double>(due) /
+                            static_cast<double>(trials)
+                      : 0.0;
+    }
+
+    /** P(fault -> detected-and-recoverable). */
+    double
+    avfDetected() const
+    {
+        return trials ? static_cast<double>(detected) /
+                            static_cast<double>(trials)
+                      : 0.0;
+    }
+
+    /**
+     * Fraction of SDCs whose deviation exceeds the tolerated
+     * relative error — the FIT-reduction curve ordinate for a given
+     * TRE abscissa (1.0 at TRE = 0 when every SDC deviates).
+     */
+    double survivingFraction(double tre) const;
+
+    /** Fraction of SDCs at the given semantic severity. */
+    double severityFraction(workloads::SdcSeverity severity) const;
+
+    /** Merge another campaign's tallies into this one. */
+    void merge(const CampaignResult &other);
+};
+
+/** Common campaign knobs. */
+struct CampaignConfig
+{
+    std::uint64_t trials = 1000;
+    FaultModel model = FaultModel::SingleBitFlip;
+    std::uint64_t seed = 1;        ///< fault-sampling seed
+    std::uint64_t inputSeed = 99;  ///< workload input seed
+    /** Watchdog: abort when ticks exceed golden ticks x this. */
+    double timeoutFactor = 4.0;
+
+    /**
+     * Datapath campaigns only: restrict strikes to the operand
+     * stages (register-read values) instead of the full internal
+     * datapath. Supports the operand-vs-datapath criticality
+     * ablation (DESIGN.md section 5, decision 1).
+     */
+    bool operandStagesOnly = false;
+
+    /**
+     * Memory campaigns only: log each trial's flipped bit position,
+     * IEEE754 field and outcome into CampaignResult::anatomy
+     * (single-bit-flip model required).
+     */
+    bool recordAnatomy = false;
+};
+
+/**
+ * Fault-free reference execution: output bits, tick count, op mix.
+ */
+struct GoldenRun
+{
+    /** Execute @p w fault-free with @p input_seed and capture. */
+    GoldenRun(workloads::Workload &w, std::uint64_t input_seed);
+
+    std::vector<std::uint64_t> outputBits;
+    std::uint64_t ticks = 0;
+    fp::FpContext ops;  ///< per-kind dynamic operation counts
+};
+
+/**
+ * CAROL-FI-style campaign: corrupt a random element of a random live
+ * buffer (weighted by bit population) at a random tick.
+ */
+CampaignResult runMemoryCampaign(workloads::Workload &w,
+                                 const CampaignConfig &config);
+
+/**
+ * Functional-unit campaign: corrupt one datapath stage of one random
+ * dynamic operation (uniform over executed operations; stage chosen
+ * proportionally to its bit population).
+ *
+ * @param kind_filter Restrict strikes to one operation kind; pass
+ *                    OpKind::NumKinds for "any".
+ */
+CampaignResult runDatapathCampaign(
+    workloads::Workload &w, const CampaignConfig &config,
+    fp::OpKind kind_filter = fp::OpKind::NumKinds);
+
+/** One engine of a spatial design and its physical operator count. */
+struct EngineAllocation
+{
+    workloads::Engine engine;
+    std::uint64_t units = 1;
+};
+
+/**
+ * FPGA configuration-memory campaign: break one physical operator of
+ * one engine persistently for the whole execution. Broken operators
+ * are sampled proportionally to each engine's unit count.
+ */
+CampaignResult runPersistentCampaign(
+    workloads::Workload &w, const CampaignConfig &config,
+    const std::vector<EngineAllocation> &engines);
+
+/**
+ * Convenience overload: one engine per operation kind, with the
+ * physical unit count given by @p physical_units (0 = kind absent).
+ */
+CampaignResult runPersistentCampaign(
+    workloads::Workload &w, const CampaignConfig &config,
+    const std::function<std::uint64_t(fp::OpKind)> &physical_units);
+
+} // namespace mparch::fault
+
+#endif // MPARCH_FAULT_CAMPAIGN_HH

@@ -1,0 +1,94 @@
+#include "fault/hooks.hh"
+
+#include "fp/format.hh"
+
+namespace mparch::fault {
+
+using fp::OpKind;
+using fp::Stage;
+
+const std::array<Stage, 10> &
+stagesFor(OpKind kind, std::size_t &count)
+{
+    static const std::array<Stage, 10> add = {
+        Stage::OperandA,    Stage::OperandB,
+        Stage::AlignedSigA, Stage::AlignedSigB,
+        Stage::PreRoundSig, Stage::ExponentLogic, Stage::Result,
+    };
+    static const std::array<Stage, 10> mul = {
+        Stage::OperandA,    Stage::OperandB,   Stage::ProductLo,
+        Stage::ProductHi,   Stage::PreRoundSig,
+        Stage::ExponentLogic, Stage::Result,
+    };
+    static const std::array<Stage, 10> fma = {
+        Stage::OperandA,    Stage::OperandB,    Stage::OperandC,
+        Stage::ProductLo,   Stage::ProductHi,   Stage::AlignedSigA,
+        Stage::PreRoundSig, Stage::ExponentLogic, Stage::Result,
+    };
+    static const std::array<Stage, 10> unary = {
+        Stage::OperandA,    Stage::PreRoundSig,
+        Stage::ExponentLogic, Stage::Result,
+    };
+    static const std::array<Stage, 10> div = {
+        Stage::OperandA,    Stage::OperandB,   Stage::PreRoundSig,
+        Stage::ExponentLogic, Stage::Result,
+    };
+    static const std::array<Stage, 10> boundary = {
+        Stage::OperandA,
+    };
+
+    switch (kind) {
+      case OpKind::Add:
+      case OpKind::Sub:
+        count = 7;
+        return add;
+      case OpKind::Mul:
+        count = 7;
+        return mul;
+      case OpKind::Fma:
+        count = 9;
+        return fma;
+      case OpKind::Div:
+        count = 5;
+        return div;
+      case OpKind::Sqrt:
+      case OpKind::Convert:
+        count = 4;
+        return unary;
+      case OpKind::Exp:
+      default:
+        count = 1;
+        return boundary;
+    }
+}
+
+unsigned
+stageWidthEstimate(Stage stage, fp::Format f)
+{
+    const unsigned man = f.manBits;
+    switch (stage) {
+      case Stage::OperandA:
+      case Stage::OperandB:
+      case Stage::OperandC:
+      case Stage::Result:
+        return f.totalBits;
+      case Stage::AlignedSigA:
+      case Stage::AlignedSigB:
+      case Stage::PreRoundSig:
+        return man + 5;
+      case Stage::ProductLo:
+      case Stage::ProductHi: {
+        // Split the 2*(man+1)-bit multiplier array across the two
+        // product windows.
+        const unsigned total = 2 * (man + 1);
+        return stage == Stage::ProductLo ? std::min(total, 64u)
+                                         : (total > 64 ? total - 64 : 1);
+      }
+      case Stage::ExponentLogic:
+        return f.expBits + 2;
+      default:
+        return f.totalBits;
+    }
+}
+
+} // namespace mparch::fault

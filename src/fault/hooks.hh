@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Fault-injecting FpHook implementations.
+ *
+ * OneShotDatapathHook models a transient particle strike inside a
+ * functional unit: it corrupts one datapath stage of one dynamic
+ * operation instance. PersistentDatapathHook models an FPGA
+ * configuration-memory upset: a physical operator is broken, so every
+ * dynamic operation that the broken unit executes (operation index
+ * congruent to the unit's position modulo the number of physical
+ * units) is corrupted the same way until the bitstream is reloaded.
+ */
+
+#ifndef MPARCH_FAULT_HOOKS_HH
+#define MPARCH_FAULT_HOOKS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "fp/format.hh"
+#include "fp/hooks.hh"
+
+namespace mparch::fault {
+
+/** Valid perturbation stages for an operation kind. */
+const std::array<fp::Stage, 10> &stagesFor(fp::OpKind kind,
+                                           std::size_t &count);
+
+/**
+ * Relative bit population of a stage for a given format — the default
+ * "uniform over datapath bits" sampling weight.
+ */
+unsigned stageWidthEstimate(fp::Stage stage, fp::Format f);
+
+/** Flip one bit of one stage of one dynamic op instance. */
+class OneShotDatapathHook : public fp::FpHook
+{
+  public:
+    /**
+     * @param kind      Operation kind to strike.
+     * @param index     Dynamic instance among ops of that kind.
+     * @param stage     Datapath stage to corrupt.
+     * @param bit_frac  Bit position as a fraction of the stage width
+     *                  (the width is only known at fire time).
+     */
+    OneShotDatapathHook(fp::OpKind kind, std::uint64_t index,
+                        fp::Stage stage, double bit_frac)
+        : kind_(kind), index_(index), stage_(stage),
+          bitFrac_(bit_frac)
+    {}
+
+    std::uint64_t
+    perturb(fp::OpKind op, fp::Stage stage, unsigned width,
+            std::uint64_t value) override
+    {
+        if (stage == fp::Stage::OperandA) {
+            // Every instrumented op visits OperandA exactly once,
+            // first: use it as the dynamic instance counter.
+            current_ = seen_[static_cast<std::size_t>(op)]++;
+        }
+        if (!fired_ && op == kind_ && stage == stage_ &&
+            current_ == index_ &&
+            seen_[static_cast<std::size_t>(op)] == index_ + 1) {
+            fired_ = true;
+            auto bit = static_cast<unsigned>(bitFrac_ * width);
+            if (bit >= width)
+                bit = width - 1;
+            return value ^ (1ULL << bit);
+        }
+        return value;
+    }
+
+    /** True once the fault was placed. */
+    bool fired() const { return fired_; }
+
+  private:
+    fp::OpKind kind_;
+    std::uint64_t index_;
+    fp::Stage stage_;
+    double bitFrac_;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(fp::OpKind::NumKinds)>
+        seen_{};
+    std::uint64_t current_ = 0;
+    bool fired_ = false;
+};
+
+/**
+ * How a broken physical operator corrupts the datapath bit it owns.
+ *
+ * A configuration-memory upset rewires logic, so the classic model
+ * is a stuck-at: the bit reads 0 (or 1) regardless of the computed
+ * value — which masks the fault whenever the correct value already
+ * matches. Flip (always-wrong) is kept for worst-case analysis.
+ */
+enum class PersistMode { Flip, StuckAt0, StuckAt1 };
+
+/** Name of a PersistMode ("flip" / "stuck-at-0" / "stuck-at-1"). */
+constexpr const char *
+persistModeName(PersistMode mode)
+{
+    switch (mode) {
+      case PersistMode::Flip:     return "flip";
+      case PersistMode::StuckAt0: return "stuck-at-0";
+      case PersistMode::StuckAt1: return "stuck-at-1";
+    }
+    return "?";
+}
+
+/**
+ * Break one physical operator: corrupt every op of a kind whose
+ * dynamic index falls on the broken unit (index % units == unit),
+ * optionally restricted to an engine's periodic index window so a
+ * fault in (say) a CNN's conv engine never touches its dense engine.
+ */
+class PersistentDatapathHook : public fp::FpHook
+{
+  public:
+    /**
+     * @param kind  Operation kind implemented by the broken unit.
+     * @param units Physical operator instances of that kind in the
+     *              affected engine (time-multiplexing factor).
+     * @param unit  Which instance is broken.
+     * @param stage Datapath stage the upset affects.
+     * @param bit_frac Bit position as a fraction of stage width.
+     * @param period Engine window period in ops of @p kind (0 = all).
+     * @param lo     Window start within the period.
+     * @param hi     Window end within the period.
+     * @param mode   Stuck-at or always-flip corruption.
+     */
+    PersistentDatapathHook(fp::OpKind kind, std::uint64_t units,
+                           std::uint64_t unit, fp::Stage stage,
+                           double bit_frac, std::uint64_t period = 0,
+                           std::uint64_t lo = 0, std::uint64_t hi = 0,
+                           PersistMode mode = PersistMode::Flip)
+        : kind_(kind), units_(units ? units : 1), unit_(unit % units_),
+          stage_(stage), bitFrac_(bit_frac), period_(period), lo_(lo),
+          hi_(hi), mode_(mode)
+    {}
+
+    std::uint64_t
+    perturb(fp::OpKind op, fp::Stage stage, unsigned width,
+            std::uint64_t value) override
+    {
+        if (stage == fp::Stage::OperandA && op == kind_) {
+            current_ = count_++;
+            inWindow_ = period_ == 0 ||
+                        (current_ % period_ >= lo_ &&
+                         current_ % period_ < hi_);
+        }
+        if (op == kind_ && stage == stage_ && inWindow_ &&
+            current_ % units_ == unit_) {
+            ++hits_;
+            auto bit = static_cast<unsigned>(bitFrac_ * width);
+            if (bit >= width)
+                bit = width - 1;
+            switch (mode_) {
+              case PersistMode::Flip:
+                return value ^ (1ULL << bit);
+              case PersistMode::StuckAt0:
+                return setBit(value, bit, false);
+              case PersistMode::StuckAt1:
+                return setBit(value, bit, true);
+            }
+        }
+        return value;
+    }
+
+    /** Number of operations the broken unit corrupted. */
+    std::uint64_t hits() const { return hits_; }
+
+  private:
+    fp::OpKind kind_;
+    std::uint64_t units_;
+    std::uint64_t unit_;
+    fp::Stage stage_;
+    double bitFrac_;
+    std::uint64_t period_;
+    std::uint64_t lo_;
+    std::uint64_t hi_;
+    PersistMode mode_;
+    std::uint64_t count_ = 0;
+    std::uint64_t current_ = 0;
+    bool inWindow_ = false;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace mparch::fault
+
+#endif // MPARCH_FAULT_HOOKS_HH

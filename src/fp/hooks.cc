@@ -1,0 +1,87 @@
+#include "hooks.hh"
+
+namespace mparch::fp {
+
+namespace {
+
+thread_local FpContext *tlsContext = nullptr;
+
+} // namespace
+
+const char *
+opKindName(OpKind op)
+{
+    switch (op) {
+      case OpKind::Add:     return "add";
+      case OpKind::Sub:     return "sub";
+      case OpKind::Mul:     return "mul";
+      case OpKind::Fma:     return "fma";
+      case OpKind::Div:     return "div";
+      case OpKind::Sqrt:    return "sqrt";
+      case OpKind::Exp:     return "exp";
+      case OpKind::Convert: return "convert";
+      default:              return "?";
+    }
+}
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::OperandA:      return "operand-a";
+      case Stage::OperandB:      return "operand-b";
+      case Stage::OperandC:      return "operand-c";
+      case Stage::AlignedSigA:   return "aligned-sig-a";
+      case Stage::AlignedSigB:   return "aligned-sig-b";
+      case Stage::ProductLo:     return "product-lo";
+      case Stage::ProductHi:     return "product-hi";
+      case Stage::PreRoundSig:   return "pre-round-sig";
+      case Stage::ExponentLogic: return "exponent-logic";
+      case Stage::Result:        return "result";
+      default:                   return "?";
+    }
+}
+
+const char *
+roundingName(Rounding mode)
+{
+    switch (mode) {
+      case Rounding::NearestEven: return "nearest-even";
+      case Rounding::TowardZero:  return "toward-zero";
+      case Rounding::Upward:      return "upward";
+      case Rounding::Downward:    return "downward";
+    }
+    return "?";
+}
+
+FpContext *
+currentContext()
+{
+    return tlsContext;
+}
+
+FpEnvGuard::FpEnvGuard(FpContext &ctx)
+    : saved_(tlsContext)
+{
+    tlsContext = &ctx;
+}
+
+FpEnvGuard::~FpEnvGuard()
+{
+    tlsContext = saved_;
+}
+
+namespace detail {
+
+FpContext *
+noteOp(OpKind op)
+{
+    FpContext *ctx = tlsContext;
+    if (ctx)
+        ++ctx->opCount[static_cast<std::size_t>(op)];
+    return ctx;
+}
+
+} // namespace detail
+
+} // namespace mparch::fp

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Datapath observation and perturbation hooks.
+ *
+ * The paper distinguishes faults in *data* (register/memory bits) from
+ * faults in *operations* (the functional unit's internal state: aligned
+ * significands, the multiplier's partial-product array, the pre-round
+ * sum, the exponent logic). To reproduce criticality results such as
+ * "ADD and FMA have a lower FIT reduction than MUL because operands
+ * must be normalised before being added", the softfloat core exposes
+ * every such internal stage through a hook that can flip bits there.
+ *
+ * A thread-local FpContext carries the installed hook and per-opcode
+ * counters; workloads run inside an FpEnvGuard so the injector can
+ * attach hooks without any plumbing through workload code.
+ */
+
+#ifndef MPARCH_FP_HOOKS_HH
+#define MPARCH_FP_HOOKS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mparch::fp {
+
+/** Operation kinds instrumented by the softfloat core. */
+enum class OpKind
+{
+    Add, Sub, Mul, Fma, Div, Sqrt, Exp, Convert,
+    NumKinds,
+};
+
+/** Name of an OpKind ("add", "mul", ...). */
+const char *opKindName(OpKind op);
+
+/** Internal datapath stages at which a fault can strike. */
+enum class Stage
+{
+    OperandA,     ///< first operand bit pattern, as read
+    OperandB,     ///< second operand bit pattern, as read
+    OperandC,     ///< third operand (FMA addend), as read
+    AlignedSigA,  ///< significand A after exponent alignment
+    AlignedSigB,  ///< significand B after exponent alignment
+    ProductLo,    ///< low 64 bits of the exact product
+    ProductHi,    ///< high 64 bits of the exact product
+    PreRoundSig,  ///< normalised significand before rounding
+    ExponentLogic,///< unbiased result exponent before packing
+    Result,       ///< packed result bit pattern
+    NumStages,
+};
+
+/** Name of a Stage ("operand-a", "product-lo", ...). */
+const char *stageName(Stage stage);
+
+/**
+ * Perturbation callback invoked by the softfloat core at each stage.
+ *
+ * The default implementation is the identity; fault injectors derive
+ * from this and flip bits when their trigger condition (op index,
+ * stage, bit) is met.
+ */
+class FpHook
+{
+  public:
+    virtual ~FpHook() = default;
+
+    /**
+     * Possibly perturb a datapath value.
+     *
+     * @param op     The operation being executed.
+     * @param stage  Which internal stage @p value represents.
+     * @param width  Number of meaningful low bits in @p value.
+     * @param value  The fault-free datapath value.
+     * @return The (possibly corrupted) value to continue with.
+     */
+    virtual std::uint64_t
+    perturb(OpKind op, Stage stage, unsigned width, std::uint64_t value)
+    {
+        (void)op; (void)stage; (void)width;
+        return value;
+    }
+};
+
+/**
+ * IEEE754-2008 rounding-direction attributes.
+ *
+ * The studied workloads all run round-to-nearest-even (hardware
+ * default), but the library implements the full set so interval-style
+ * and directed-rounding codes can be simulated too.
+ */
+enum class Rounding
+{
+    NearestEven,  ///< roundTiesToEven (default everywhere)
+    TowardZero,   ///< roundTowardZero (truncate)
+    Upward,       ///< roundTowardPositive
+    Downward,     ///< roundTowardNegative
+};
+
+/** Name of a rounding mode ("nearest-even", ...). */
+const char *roundingName(Rounding mode);
+
+/**
+ * Per-thread floating-point execution environment.
+ *
+ * Counts operations by kind (used by the architecture models to build
+ * instruction mixes and resource inventories), owns an optional
+ * perturbation hook, and carries the rounding mode — the software
+ * analogue of an FPU control register.
+ */
+struct FpContext
+{
+    FpHook *hook = nullptr;
+    Rounding rounding = Rounding::NearestEven;
+    std::array<std::uint64_t, static_cast<std::size_t>(OpKind::NumKinds)>
+        opCount{};
+
+    /** Total number of FP operations executed in this context. */
+    std::uint64_t
+    totalOps() const
+    {
+        std::uint64_t sum = 0;
+        for (auto c : opCount)
+            sum += c;
+        return sum;
+    }
+
+    /** Count for one opcode. */
+    std::uint64_t
+    count(OpKind op) const
+    {
+        return opCount[static_cast<std::size_t>(op)];
+    }
+};
+
+/** Currently installed context, or nullptr (uninstrumented). */
+FpContext *currentContext();
+
+/**
+ * RAII installer for an FpContext.
+ *
+ * Saves and restores the previous context so guards nest naturally.
+ */
+class FpEnvGuard
+{
+  public:
+    explicit FpEnvGuard(FpContext &ctx);
+    ~FpEnvGuard();
+
+    FpEnvGuard(const FpEnvGuard &) = delete;
+    FpEnvGuard &operator=(const FpEnvGuard &) = delete;
+
+  private:
+    FpContext *saved_;
+};
+
+namespace detail {
+
+/** Record one op in the current context and return it (or nullptr). */
+FpContext *noteOp(OpKind op);
+
+/** Run the context hook for @p stage, if any. */
+inline std::uint64_t
+touch(FpContext *ctx, OpKind op, Stage stage, unsigned width,
+      std::uint64_t value)
+{
+    if (ctx && ctx->hook)
+        return ctx->hook->perturb(op, stage, width, value);
+    return value;
+}
+
+} // namespace detail
+
+} // namespace mparch::fp
+
+#endif // MPARCH_FP_HOOKS_HH

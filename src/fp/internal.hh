@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared internals of the softfloat implementation files.
+ *
+ * Not part of the public API; included only by the fp .cc files and white-box
+ * tests.
+ */
+
+#ifndef MPARCH_FP_INTERNAL_HH
+#define MPARCH_FP_INTERNAL_HH
+
+#include "fp/format.hh"
+#include "fp/softfloat.hh"
+
+namespace mparch::fp::detail {
+
+using U128 = unsigned __int128;
+
+/**
+ * A finite operand in LSB-scale form: value = (-1)^sign * sig * 2^exp.
+ *
+ * Normals carry the hidden bit (sig in [2^manBits, 2^(manBits+1)));
+ * subnormals have sig < 2^manBits. Zero has sig == 0.
+ */
+struct Unpacked
+{
+    bool sign;
+    int exp;            ///< scale of sig's least significant bit
+    std::uint64_t sig;  ///< significand including hidden bit
+};
+
+/** Unpack a finite (zero/subnormal/normal) bit pattern. */
+inline Unpacked
+unpackFinite(Format f, std::uint64_t bits)
+{
+    const bool sign = signOf(f, bits);
+    const int be = biasedExpOf(f, bits);
+    const std::uint64_t m = mantissaOf(f, bits);
+    if (be == 0)
+        return {sign, f.minExp() - static_cast<int>(f.manBits), m};
+    return {sign, be - f.bias() - static_cast<int>(f.manBits),
+            m | f.hiddenBit()};
+}
+
+/** Normalise an unpacked non-zero value so sig's MSB is at manBits. */
+inline Unpacked
+normalize(Format f, Unpacked u)
+{
+    MPARCH_ASSERT(u.sig != 0, "cannot normalise zero");
+    const int hb = highestSetBit(u.sig);
+    const int shift = static_cast<int>(f.manBits) - hb;
+    if (shift > 0) {
+        u.sig <<= shift;
+        u.exp -= shift;
+    } else if (shift < 0) {
+        // Only possible for corrupted-width significands.
+        u.sig >>= -shift;
+        u.exp += -shift;
+    }
+    return u;
+}
+
+} // namespace mparch::fp::detail
+
+#endif // MPARCH_FP_INTERNAL_HH

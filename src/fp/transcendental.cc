@@ -1,0 +1,200 @@
+/**
+ * @file
+ * In-format exponential.
+ *
+ * exp() is evaluated with softfloat operations in the target format:
+ * a Cody-Waite range reduction (x = k*ln2 + r) followed by a Horner
+ * polynomial whose degree grows with precision (4 / 6 / 13). This
+ * mirrors real software transcendental implementations — GPUs execute
+ * exp() as a chain of FMA/MUL instructions — so datapath faults can
+ * strike inside the chain and higher precisions genuinely execute
+ * more vulnerable operations, the effect behind the paper's LavaMD
+ * criticality discussion (Sections 5.3 and 6.3).
+ */
+
+#include "fp/softfloat.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fp/internal.hh"
+
+namespace mparch::fp {
+
+namespace {
+
+/** Polynomial degree per precision. */
+int
+expDegree(Format f)
+{
+    if (f == kHalf)
+        return 4;
+    if (f == kSingle)
+        return 6;
+    return 13;
+}
+
+/** exp(x) overflows the format above this. */
+double
+overflowThreshold(Format f)
+{
+    return (f.maxExp() + 1) * std::log(2.0);
+}
+
+/** exp(x) is zero (below half the smallest subnormal) under this. */
+double
+underflowThreshold(Format f)
+{
+    return (f.minExp() - static_cast<int>(f.manBits) - 1) *
+           std::log(2.0);
+}
+
+/** Multiply by 2^k without leaving the format. */
+std::uint64_t
+scaleByPow2(Format f, std::uint64_t x, long k)
+{
+    // Split so each factor is a representable normal power of two.
+    while (k != 0) {
+        long step = k;
+        const long lo = f.minExp();
+        const long hi = f.maxExp();
+        if (step > hi)
+            step = hi;
+        if (step < lo)
+            step = lo;
+        const std::uint64_t factor = packFields(
+            f, false, static_cast<int>(step) + f.bias(), 0);
+        x = fpMul(f, x, factor);
+        k -= step;
+        if (isZero(f, x) || isInf(f, x) || isNaN(f, x))
+            break;
+    }
+    return x;
+}
+
+} // namespace
+
+std::uint64_t
+fpExp(Format f, std::uint64_t a)
+{
+    const OpKind op = OpKind::Exp;
+    FpContext *ctx = detail::noteOp(op);
+    a = detail::touch(ctx, op, Stage::OperandA, f.totalBits, a) &
+        f.valueMask();
+
+    const FpClass ca = classify(f, a);
+    if (ca == FpClass::NaN)
+        return quietNaN(f);
+    if (ca == FpClass::Inf)
+        return signOf(f, a) ? zero(f, false) : a;
+    if (ca == FpClass::Zero)
+        return one(f);
+
+    // Range checks are control decisions (exact in real hardware's
+    // early-out comparators), so the host double is fine here.
+    const double xd = fpToDouble(f, a);
+    if (xd > overflowThreshold(f))
+        return infinity(f, false);
+    if (xd < underflowThreshold(f))
+        return zero(f, false);
+
+    const std::uint64_t log2e = fpFromDouble(f, 1.4426950408889634);
+    // Two-part ln2 so r = x - k*ln2 keeps extra effective precision.
+    const std::uint64_t neg_ln2_hi =
+        fpFromDouble(f, -0x1.62e42fefa38p-1);
+    const std::uint64_t neg_ln2_lo =
+        fpFromDouble(f, -0x1.ef35793c7673p-45);
+
+    const std::uint64_t t = fpMul(f, a, log2e);
+    // Clamp k against corrupted inputs (a datapath fault upstream can
+    // make t non-finite; lround would then return LONG_MIN and the
+    // scaling loop below would effectively never terminate).
+    const double td = fpToDouble(f, t);
+    const double k_limit = 2.0 * (f.maxExp() + f.manBits + 2);
+    const long k = std::isfinite(td)
+                       ? std::lround(std::clamp(td, -k_limit, k_limit))
+                       : 0;
+    const std::uint64_t kf = fpFromDouble(f, static_cast<double>(k));
+
+    std::uint64_t r = fpFma(f, kf, neg_ln2_hi, a);
+    r = fpFma(f, kf, neg_ln2_lo, r);
+
+    // Horner over 1 + r + r^2/2! + ... + r^deg/deg!.
+    const int deg = expDegree(f);
+    double inv_fact = 1.0;
+    std::vector<std::uint64_t> coeff(static_cast<std::size_t>(deg) + 1);
+    for (int i = 0; i <= deg; ++i) {
+        if (i > 1)
+            inv_fact /= i;
+        coeff[static_cast<std::size_t>(i)] = fpFromDouble(f, inv_fact);
+    }
+    std::uint64_t p = coeff[static_cast<std::size_t>(deg)];
+    for (int i = deg - 1; i >= 0; --i)
+        p = fpFma(f, p, r, coeff[static_cast<std::size_t>(i)]);
+
+    std::uint64_t result = scaleByPow2(f, p, k);
+    result = detail::touch(ctx, op, Stage::Result, f.totalBits, result) &
+             f.valueMask();
+    return result;
+}
+
+std::uint64_t
+fpLog(Format f, std::uint64_t a)
+{
+    const OpKind op = OpKind::Exp;  // transcendental-unit op class
+    FpContext *ctx = detail::noteOp(op);
+    a = detail::touch(ctx, op, Stage::OperandA, f.totalBits, a) &
+        f.valueMask();
+
+    const FpClass ca = classify(f, a);
+    if (ca == FpClass::NaN)
+        return quietNaN(f);
+    if (ca == FpClass::Zero)
+        return infinity(f, true);
+    if (signOf(f, a))
+        return quietNaN(f);
+    if (ca == FpClass::Inf)
+        return a;
+
+    // a = m * 2^k with m in [1, 2); fold into [sqrt(1/2), sqrt(2))
+    // so the atanh argument stays under ~0.172 and the series
+    // converges to full precision in few terms.
+    detail::Unpacked u = detail::normalize(f, detail::unpackFinite(f, a));
+    long k = u.exp + static_cast<int>(f.manBits);
+    std::uint64_t m =
+        packFields(f, false, f.bias(),
+                   u.sig & f.manMask());  // m in [1, 2)
+    const std::uint64_t sqrt2 = fpFromDouble(f, 1.4142135623730951);
+    if (!fpLess(f, m, sqrt2)) {
+        m = fpMul(f, m, fpFromDouble(f, 0.5));
+        ++k;
+    }
+
+    const std::uint64_t one_v = one(f);
+    const std::uint64_t tt = fpDiv(f, fpSub(f, m, one_v),
+                                   fpAdd(f, m, one_v));
+    const std::uint64_t t2 = fpMul(f, tt, tt);
+
+    const int terms = f == kHalf ? 3 : f == kSingle ? 6 : 10;
+    // Horner over 1 + t2/3 + t2^2/5 + ...
+    std::uint64_t poly =
+        fpFromDouble(f, 1.0 / (2.0 * terms + 1.0));
+    for (int i = terms - 1; i >= 0; --i) {
+        poly = fpFma(f, poly, t2,
+                     fpFromDouble(f, 1.0 / (2.0 * i + 1.0)));
+    }
+    std::uint64_t ln_m = fpMul(f, fpMul(f, tt, poly),
+                               fpFromDouble(f, 2.0));
+
+    const std::uint64_t kf = fpFromDouble(f, static_cast<double>(k));
+    const std::uint64_t ln2 =
+        fpFromDouble(f, 0.6931471805599453);
+    std::uint64_t result = fpFma(f, kf, ln2, ln_m);
+    result = detail::touch(ctx, op, Stage::Result, f.totalBits,
+                           result) &
+             f.valueMask();
+    return result;
+}
+
+} // namespace mparch::fp

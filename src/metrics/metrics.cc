@@ -1,0 +1,60 @@
+#include "metrics/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mparch::metrics {
+
+std::vector<double>
+normalizeToMax(const std::vector<double> &values)
+{
+    double peak = 0.0;
+    for (double v : values)
+        peak = std::max(peak, v);
+    std::vector<double> out(values.size(), 0.0);
+    if (peak <= 0.0)
+        return out;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out[i] = values[i] / peak;
+    return out;
+}
+
+TreCurve
+treCurve(const fault::CampaignResult &result)
+{
+    TreCurve curve;
+    curve.thresholds.assign(kTreThresholds.begin(),
+                            kTreThresholds.end());
+    curve.remaining.reserve(curve.thresholds.size());
+    for (double t : curve.thresholds)
+        curve.remaining.push_back(result.survivingFraction(t));
+    return curve;
+}
+
+double
+scrubbedErrorRate(double raw_rate, double avf, double interval)
+{
+    if (raw_rate <= 0.0 || avf <= 0.0 || interval <= 0.0)
+        return 0.0;
+    // Upsets arrive Poisson(raw_rate); each propagates independently
+    // with probability avf, so propagating upsets are a thinned
+    // Poisson process of rate raw_rate * avf and the interval stays
+    // clean with probability exp(-raw_rate * avf * interval).
+    const double p_clean = std::exp(-raw_rate * avf * interval);
+    return (1.0 - p_clean) / interval;
+}
+
+CriticalitySplit
+criticalitySplit(const fault::CampaignResult &result)
+{
+    using workloads::SdcSeverity;
+    CriticalitySplit split;
+    split.tolerable = result.severityFraction(SdcSeverity::Tolerable);
+    split.detectionChange =
+        result.severityFraction(SdcSeverity::DetectionChange);
+    split.criticalChange =
+        result.severityFraction(SdcSeverity::CriticalChange);
+    return split;
+}
+
+} // namespace mparch::metrics

@@ -1,0 +1,25 @@
+#include "mitigation/abft.hh"
+
+namespace mparch::mitigation {
+
+workloads::WorkloadPtr
+makeAbftMxM(fp::Precision p, double scale)
+{
+    switch (p) {
+      case fp::Precision::Half:
+        return std::make_unique<
+            AbftMxMWorkload<fp::Precision::Half>>(scale);
+      case fp::Precision::Single:
+        return std::make_unique<
+            AbftMxMWorkload<fp::Precision::Single>>(scale);
+      case fp::Precision::Double:
+        return std::make_unique<
+            AbftMxMWorkload<fp::Precision::Double>>(scale);
+      case fp::Precision::Bfloat16:
+        return std::make_unique<
+            AbftMxMWorkload<fp::Precision::Bfloat16>>(scale);
+    }
+    panic("unknown precision");
+}
+
+} // namespace mparch::mitigation

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Workload adapters for the CNN benchmarks (MNIST-like classifier and
+ * the YOLite detector), so the fault-injection campaigns and the
+ * architecture models drive them exactly like the numeric kernels.
+ *
+ * SDC severity semantics follow the paper:
+ *  - MNIST (Figure 3): Tolerable = output corrupted, classification
+ *    intact; CriticalChange = classification flipped.
+ *  - YOLO (Figure 11c): Tolerable; DetectionChange = boxes appear,
+ *    vanish or move; CriticalChange = a detected object's class flips.
+ */
+
+#ifndef MPARCH_NN_NN_WORKLOADS_HH
+#define MPARCH_NN_NN_WORKLOADS_HH
+
+#include <memory>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace mparch::nn {
+
+/**
+ * Lazily train (once per process) and cache the classifier weights
+ * used by every MNIST workload instance.
+ */
+const struct MnistParams &pretrainedMnist();
+
+/**
+ * Instantiate a CNN workload.
+ *
+ * Known names: "mnist" (classifier, batch of 4 digits per
+ * execution), "yolite" (detector, batch of 2 scenes per execution).
+ *
+ * @param scale Batch-size knob (1.0 = default batch).
+ */
+workloads::WorkloadPtr makeNnWorkload(const std::string &name,
+                                      fp::Precision p,
+                                      double scale = 1.0);
+
+/**
+ * Factory covering both numeric and CNN benchmarks: tries the
+ * numeric registry names first, then "mnist"/"yolite".
+ */
+workloads::WorkloadPtr makeAnyWorkload(const std::string &name,
+                                       fp::Precision p,
+                                       double scale = 1.0);
+
+} // namespace mparch::nn
+
+#endif // MPARCH_NN_NN_WORKLOADS_HH

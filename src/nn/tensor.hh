@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal dense tensor over softfloat values.
+ *
+ * Just enough machinery for the CNN workloads: contiguous storage,
+ * CHW indexing, and conversion from host-double parameter blocks so
+ * trained weights can be dropped to any precision without retraining
+ * (the paper's protocol, Section 3.1).
+ */
+
+#ifndef MPARCH_NN_TENSOR_HH
+#define MPARCH_NN_TENSOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "fp/value.hh"
+
+namespace mparch::nn {
+
+/** A rank-3 (channel, height, width) tensor of Fp<P> values. */
+template <fp::Precision P>
+class Tensor
+{
+  public:
+    using Value = fp::Fp<P>;
+
+    Tensor() = default;
+
+    /** Allocate a zeroed c x h x w tensor. */
+    Tensor(std::size_t c, std::size_t h, std::size_t w)
+        : c_(c), h_(h), w_(w), data_(c * h * w)
+    {}
+
+    /** Channels. */
+    std::size_t channels() const { return c_; }
+
+    /** Height. */
+    std::size_t height() const { return h_; }
+
+    /** Width. */
+    std::size_t width() const { return w_; }
+
+    /** Total element count. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Element access by (channel, row, col). */
+    Value &
+    at(std::size_t c, std::size_t y, std::size_t x)
+    {
+        return data_[(c * h_ + y) * w_ + x];
+    }
+
+    /** Const element access by (channel, row, col). */
+    const Value &
+    at(std::size_t c, std::size_t y, std::size_t x) const
+    {
+        return data_[(c * h_ + y) * w_ + x];
+    }
+
+    /** Flat element access. */
+    Value &operator[](std::size_t i) { return data_[i]; }
+
+    /** Const flat element access. */
+    const Value &operator[](std::size_t i) const { return data_[i]; }
+
+    /** Underlying storage (for BufferViews). */
+    std::vector<Value> &storage() { return data_; }
+
+    /** Zero every element. */
+    void
+    clear()
+    {
+        std::fill(data_.begin(), data_.end(), Value{});
+    }
+
+    /** Encode a block of host doubles (must match size()). */
+    void
+    loadDoubles(const std::vector<double> &values)
+    {
+        MPARCH_ASSERT(values.size() == data_.size(),
+                      "tensor shape mismatch");
+        for (std::size_t i = 0; i < values.size(); ++i)
+            data_[i] = Value::fromDouble(values[i]);
+    }
+
+  private:
+    std::size_t c_ = 0, h_ = 0, w_ = 0;
+    std::vector<Value> data_;
+};
+
+} // namespace mparch::nn
+
+#endif // MPARCH_NN_TENSOR_HH

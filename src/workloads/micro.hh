@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Microbenchmarks: Micro-ADD, Micro-MUL, Micro-FMA.
+ *
+ * Synthetic op chains after the paper's Section 3.1: each simulated
+ * thread repeats a single arithmetic operation on register-resident
+ * values, with negligible memory traffic and control flow, so the
+ * architecture models can attribute the measured AVF/FIT purely to
+ * the functional unit executing that operation. Chain constants are
+ * chosen so the running value stays well inside binary16 range for
+ * the whole chain.
+ */
+
+#ifndef MPARCH_WORKLOADS_MICRO_HH
+#define MPARCH_WORKLOADS_MICRO_HH
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/workload.hh"
+
+namespace mparch::workloads {
+
+/** Which operation a micro chain stresses. */
+enum class MicroOp { Add, Mul, Fma };
+
+/** Name suffix for a MicroOp ("add", "mul", "fma"). */
+constexpr const char *
+microOpName(MicroOp op)
+{
+    switch (op) {
+      case MicroOp::Add: return "add";
+      case MicroOp::Mul: return "mul";
+      case MicroOp::Fma: return "fma";
+    }
+    return "?";
+}
+
+/** Single-operation chain benchmark at precision P. */
+template <fp::Precision P>
+class MicroWorkload : public Workload
+{
+  public:
+    using Value = fp::Fp<P>;
+
+    /**
+     * @param op    The operation to stress.
+     * @param scale Problem-size knob; 1.0 means 32 threads x 2,000
+     *              iterations (64k operations).
+     */
+    explicit MicroWorkload(MicroOp op, double scale = 1.0)
+        : op_(op)
+    {
+        threads_ = 32;
+        iters_ = std::max<std::size_t>(
+            64, static_cast<std::size_t>(std::lround(
+                    2000.0 * std::max(scale, 1e-3))));
+        x_.resize(threads_);
+    }
+
+    std::string
+    name() const override
+    {
+        return std::string("micro-") + microOpName(op_);
+    }
+
+    fp::Precision precision() const override { return P; }
+
+    /** Iterations per simulated thread. */
+    std::size_t iterations() const { return iters_; }
+
+    /** Simulated thread count. */
+    std::size_t threads() const { return threads_; }
+
+    void
+    reset(std::uint64_t input_seed) override
+    {
+        Rng rng(input_seed);
+        for (auto &v : x_)
+            v = Value::fromDouble(rng.uniform(1.0, 2.0));
+    }
+
+    void
+    execute(ExecutionEnv &env) override
+    {
+        // Chain constants, exactly representable in binary16:
+        //  mul: x *= 1 + 2^-10  -> x_final ~ x0 * 7.0 after 2k steps
+        //  add: x += 2^-10      -> x_final ~ x0 + 2
+        //  fma: x = x*m + a, m = 1 - 2^-10: converges towards a/2^-10
+        const Value mul_k = Value::fromDouble(1.0009765625);
+        const Value add_k = Value::fromDouble(0.0009765625);
+        const Value fma_m = Value::fromDouble(0.9990234375);
+        const Value fma_a = Value::fromDouble(0.001708984375);
+        for (std::size_t it = 0; it < iters_; ++it) {
+            env.tick();
+            if (env.aborted())
+                return;
+            switch (op_) {
+              case MicroOp::Add:
+                for (auto &x : x_)
+                    x = x + add_k;
+                break;
+              case MicroOp::Mul:
+                for (auto &x : x_)
+                    x = x * mul_k;
+                break;
+              case MicroOp::Fma:
+                for (auto &x : x_)
+                    x = fma(x, fma_m, fma_a);
+                break;
+            }
+        }
+    }
+
+    std::vector<BufferView>
+    buffers() override
+    {
+        return {makeBufferView("x", x_)};
+    }
+
+    BufferView output() override { return makeBufferView("x", x_); }
+
+    KernelDesc
+    desc() const override
+    {
+        KernelDesc d;
+        d.liveValues = 2;
+        d.inputStreams = 0;
+        d.arithmeticIntensity = 1e6;  // register-only
+        d.usesTranscendental = false;
+        d.regularAccess = true;
+        d.branchDensity = 0.002;  // paper: DUE ~1/10 of real codes
+        return d;
+    }
+
+    /** The stressed operation. */
+    MicroOp microOp() const { return op_; }
+
+  private:
+    MicroOp op_;
+    std::size_t threads_;
+    std::size_t iters_;
+    std::vector<Value> x_;
+};
+
+} // namespace mparch::workloads
+
+#endif // MPARCH_WORKLOADS_MICRO_HH

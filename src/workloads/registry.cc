@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload factory.
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/hotspot.hh"
+#include "workloads/lavamd.hh"
+#include "workloads/lud.hh"
+#include "workloads/micro.hh"
+#include "workloads/mxm.hh"
+#include "workloads/mxm_mixed.hh"
+
+namespace mparch::workloads {
+
+const char *
+sdcSeverityName(SdcSeverity severity)
+{
+    switch (severity) {
+      case SdcSeverity::Tolerable:       return "tolerable";
+      case SdcSeverity::DetectionChange: return "detection-change";
+      case SdcSeverity::CriticalChange:  return "critical-change";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Instantiate one benchmark template at a runtime precision. */
+template <template <fp::Precision> class W, typename... Args>
+WorkloadPtr
+dispatch(fp::Precision p, Args &&...args)
+{
+    switch (p) {
+      case fp::Precision::Half:
+        return std::make_unique<W<fp::Precision::Half>>(
+            std::forward<Args>(args)...);
+      case fp::Precision::Single:
+        return std::make_unique<W<fp::Precision::Single>>(
+            std::forward<Args>(args)...);
+      case fp::Precision::Double:
+        return std::make_unique<W<fp::Precision::Double>>(
+            std::forward<Args>(args)...);
+      case fp::Precision::Bfloat16:
+        return std::make_unique<W<fp::Precision::Bfloat16>>(
+            std::forward<Args>(args)...);
+    }
+    panic("unknown precision");
+}
+
+} // namespace
+
+WorkloadPtr
+makeWorkload(const std::string &name, fp::Precision p, double scale)
+{
+    if (name == "mxm")
+        return dispatch<MxMWorkload>(p, scale);
+    if (name == "mxm-mixed")
+        return std::make_unique<MxMMixedWorkload>(scale);
+    if (name == "lavamd")
+        return dispatch<LavaMDWorkload>(p, scale);
+    if (name == "hotspot")
+        return dispatch<HotspotWorkload>(p, scale);
+    if (name == "lud")
+        return dispatch<LudWorkload>(p, scale);
+    if (name == "micro-add")
+        return dispatch<MicroWorkload>(p, MicroOp::Add, scale);
+    if (name == "micro-mul")
+        return dispatch<MicroWorkload>(p, MicroOp::Mul, scale);
+    if (name == "micro-fma")
+        return dispatch<MicroWorkload>(p, MicroOp::Fma, scale);
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace mparch::workloads

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for the fault-injection framework: fault models, campaign
+ * accounting, and the precision-criticality property the paper's TRE
+ * analysis rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/campaign.hh"
+#include "fault/hooks.hh"
+#include "fault/model.hh"
+#include "workloads/workload.hh"
+
+namespace mparch::fault {
+namespace {
+
+using fp::OpKind;
+using fp::Precision;
+using fp::Stage;
+using workloads::makeWorkload;
+
+TEST(FaultModelTest, SingleBitFlipChangesExactlyOneBit)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.next() & maskBits(16);
+        const std::uint64_t c =
+            applyFault(FaultModel::SingleBitFlip, rng, 16, v);
+        EXPECT_EQ(popcount(v ^ c), 1);
+        EXPECT_EQ(c & ~maskBits(16), 0u);
+    }
+}
+
+TEST(FaultModelTest, DoubleBitFlipChangesAdjacentBits)
+{
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.next();
+        const std::uint64_t c =
+            applyFault(FaultModel::DoubleBitFlip, rng, 64, v);
+        const std::uint64_t diff = v ^ c;
+        const int bits = popcount(diff);
+        EXPECT_TRUE(bits == 2 || bits == 1);
+        if (bits == 2) {
+            const int lo = std::countr_zero(diff);
+            EXPECT_TRUE(testBit(diff, static_cast<unsigned>(lo + 1)));
+        }
+    }
+}
+
+TEST(FaultModelTest, RandomByteConfinedToOneByte)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.next() & maskBits(32);
+        const std::uint64_t c =
+            applyFault(FaultModel::RandomByte, rng, 32, v);
+        const std::uint64_t diff = v ^ c;
+        if (diff == 0)
+            continue;
+        const int lo = std::countr_zero(diff) / 8;
+        EXPECT_EQ(diff & ~(0xffULL << (8 * lo)), 0u);
+    }
+}
+
+TEST(FaultModelTest, RandomValueStaysInWidth)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t c =
+            applyFault(FaultModel::RandomValue, rng, 10, 0x3ff);
+        EXPECT_EQ(c & ~maskBits(10), 0u);
+    }
+}
+
+TEST(GoldenRunTest, CapturesOutputTicksAndOps)
+{
+    auto w = makeWorkload("mxm", Precision::Single, 0.1);
+    const GoldenRun golden(*w, 42);
+    EXPECT_GT(golden.ticks, 0u);
+    EXPECT_FALSE(golden.outputBits.empty());
+    EXPECT_GT(golden.ops.count(OpKind::Fma), 0u);
+    // Re-running with the same seed reproduces the same golden.
+    const GoldenRun again(*w, 42);
+    EXPECT_EQ(golden.outputBits, again.outputBits);
+    EXPECT_EQ(golden.ticks, again.ticks);
+}
+
+TEST(MemoryCampaignTest, AccountingIsConsistent)
+{
+    auto w = makeWorkload("mxm", Precision::Single, 0.1);
+    CampaignConfig config;
+    config.trials = 300;
+    const CampaignResult r = runMemoryCampaign(*w, config);
+    EXPECT_EQ(r.trials, 300u);
+    EXPECT_EQ(r.masked + r.sdc + r.due, r.trials);
+    EXPECT_EQ(r.corpus.size(), r.sdc);
+    // A GEMM where every buffer feeds the output: a good share of
+    // flips must propagate, but low mantissa flips in already-written
+    // outputs always count as SDC too, so AVF is well above zero.
+    EXPECT_GT(r.avfSdc(), 0.2);
+    EXPECT_LE(r.avfSdc(), 1.0);
+    const Interval ci = r.avfSdc95();
+    EXPECT_TRUE(ci.contains(r.avfSdc()));
+}
+
+TEST(MemoryCampaignTest, DeterministicGivenSeed)
+{
+    auto w = makeWorkload("lud", Precision::Single, 0.1);
+    CampaignConfig config;
+    config.trials = 100;
+    config.seed = 5;
+    const CampaignResult a = runMemoryCampaign(*w, config);
+    const CampaignResult b = runMemoryCampaign(*w, config);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.due, b.due);
+}
+
+TEST(MemoryCampaignTest, PvfSimilarAcrossPrecisions)
+{
+    // Paper Section 5.2: with the same algorithm and hardware, the
+    // probability of propagation (PVF) is similar for single and
+    // double. Allow a generous band.
+    CampaignConfig config;
+    config.trials = 400;
+    auto wd = makeWorkload("mxm", Precision::Double, 0.1);
+    auto ws = makeWorkload("mxm", Precision::Single, 0.1);
+    const double pd = runMemoryCampaign(*wd, config).avfSdc();
+    const double ps = runMemoryCampaign(*ws, config).avfSdc();
+    EXPECT_NEAR(pd, ps, 0.15);
+}
+
+TEST(DatapathCampaignTest, AccountingAndDeterminism)
+{
+    auto w = makeWorkload("micro-mul", Precision::Half, 0.1);
+    CampaignConfig config;
+    config.trials = 200;
+    const CampaignResult a = runDatapathCampaign(*w, config);
+    EXPECT_EQ(a.trials, 200u);
+    EXPECT_EQ(a.masked + a.sdc + a.due, a.trials);
+    const CampaignResult b = runDatapathCampaign(*w, config);
+    EXPECT_EQ(a.sdc, b.sdc);
+}
+
+TEST(DatapathCampaignTest, KindFilterRestrictsStrikes)
+{
+    // lavamd executes mul, add, sub, fma; filtering to Mul must still
+    // produce a valid campaign.
+    auto w = makeWorkload("lavamd", Precision::Single, 0.1);
+    CampaignConfig config;
+    config.trials = 100;
+    const CampaignResult r =
+        runDatapathCampaign(*w, config, OpKind::Mul);
+    EXPECT_EQ(r.trials, 100u);
+    EXPECT_GT(r.sdc + r.masked, 0u);
+}
+
+TEST(DatapathCampaignTest, DoubleDeviationsSmallerThanHalf)
+{
+    // The paper's central criticality claim (Figures 4, 8, 11): a
+    // fault in lower-precision data/operations deviates the output
+    // more. Median SDC deviation for half must exceed double's.
+    CampaignConfig config;
+    config.trials = 600;
+    auto wd = makeWorkload("micro-mul", Precision::Double, 0.1);
+    auto wh = makeWorkload("micro-mul", Precision::Half, 0.1);
+    const CampaignResult rd = runDatapathCampaign(*wd, config);
+    const CampaignResult rh = runDatapathCampaign(*wh, config);
+    // Fraction of SDCs with deviation above 0.1%: half's errors are
+    // concentrated in high-impact bits.
+    EXPECT_GT(rh.survivingFraction(0.001),
+              rd.survivingFraction(0.001));
+}
+
+TEST(CampaignResultTest, SurvivingFractionMonotone)
+{
+    auto w = makeWorkload("mxm", Precision::Half, 0.1);
+    CampaignConfig config;
+    config.trials = 300;
+    const CampaignResult r = runMemoryCampaign(*w, config);
+    ASSERT_GT(r.sdc, 10u);
+    double prev = 1.1;
+    for (double tre : {0.0, 1e-4, 1e-2, 1.0, 100.0}) {
+        const double s = r.survivingFraction(tre);
+        EXPECT_LE(s, prev);
+        prev = s;
+    }
+    EXPECT_DOUBLE_EQ(r.survivingFraction(0.0), 1.0);
+}
+
+TEST(CampaignResultTest, MergeAddsTallies)
+{
+    CampaignResult a, b;
+    a.trials = 10;
+    a.sdc = 2;
+    a.masked = 8;
+    a.corpus.resize(2);
+    b.trials = 5;
+    b.due = 1;
+    b.masked = 4;
+    a.merge(b);
+    EXPECT_EQ(a.trials, 15u);
+    EXPECT_EQ(a.due, 1u);
+    EXPECT_EQ(a.corpus.size(), 2u);
+}
+
+TEST(PersistentCampaignTest, BrokenOperatorCorruptsMoreOutput)
+{
+    auto w = makeWorkload("mxm", Precision::Single, 0.1);
+    CampaignConfig config;
+    config.trials = 150;
+    const auto units = [](OpKind kind) -> std::uint64_t {
+        return kind == OpKind::Fma ? 16 : 0;
+    };
+    const CampaignResult persistent =
+        runPersistentCampaign(*w, config, units);
+    const CampaignResult transient = runDatapathCampaign(*w, config);
+    EXPECT_EQ(persistent.trials, 150u);
+    ASSERT_GT(persistent.sdc, 0u);
+    // A broken physical unit touches many operations; the average
+    // corrupted output fraction must exceed the one-shot case.
+    auto mean_frac = [](const CampaignResult &r) {
+        double sum = 0.0;
+        for (const auto &rec : r.corpus)
+            sum += rec.corruptedFraction;
+        return r.corpus.empty() ? 0.0 : sum / r.corpus.size();
+    };
+    EXPECT_GT(mean_frac(persistent), mean_frac(transient));
+}
+
+TEST(OneShotHookTest, FiresExactlyOnce)
+{
+    OneShotDatapathHook hook(OpKind::Mul, 1, Stage::Result, 0.0);
+    fp::FpContext ctx;
+    ctx.hook = &hook;
+    fp::FpEnvGuard guard(ctx);
+    const auto a = fp::FpSingle::fromDouble(1.5);
+    const auto r0 = a * a;  // op 0: untouched
+    const auto r1 = a * a;  // op 1: corrupted result bit 0
+    const auto r2 = a * a;  // op 2: untouched
+    EXPECT_TRUE(hook.fired());
+    EXPECT_EQ(r0.bits(), r2.bits());
+    EXPECT_EQ(r1.bits() ^ 1u, r0.bits());
+}
+
+TEST(PersistentHookTest, HitsEveryNthOp)
+{
+    PersistentDatapathHook hook(OpKind::Add, 4, 2, Stage::Result, 0.0);
+    fp::FpContext ctx;
+    ctx.hook = &hook;
+    fp::FpEnvGuard guard(ctx);
+    const auto a = fp::FpSingle::fromDouble(1.0);
+    for (int i = 0; i < 12; ++i)
+        (void)(a + a);
+    EXPECT_EQ(hook.hits(), 3u);  // ops 2, 6, 10
+}
+
+TEST(StageTablesTest, WeightsPositiveForAllListedStages)
+{
+    for (auto kind : {OpKind::Add, OpKind::Sub, OpKind::Mul,
+                      OpKind::Fma, OpKind::Div, OpKind::Sqrt,
+                      OpKind::Convert}) {
+        std::size_t count = 0;
+        const auto &stages = stagesFor(kind, count);
+        ASSERT_GT(count, 0u);
+        for (std::size_t i = 0; i < count; ++i) {
+            EXPECT_GT(stageWidthEstimate(stages[i], fp::kHalf), 0u);
+            EXPECT_GT(stageWidthEstimate(stages[i], fp::kDouble), 0u);
+        }
+    }
+}
+
+} // namespace
+} // namespace mparch::fault
+
+namespace mparch::fault {
+namespace {
+
+TEST(FaultAnatomyTest, BitFieldClassification)
+{
+    using F = FaultAnatomy::Field;
+    // binary16: bit 15 sign, 10..14 exponent, 5..9 high, 0..4 low.
+    EXPECT_EQ(bitField(fp::kHalf, 15), F::Sign);
+    EXPECT_EQ(bitField(fp::kHalf, 14), F::Exponent);
+    EXPECT_EQ(bitField(fp::kHalf, 10), F::Exponent);
+    EXPECT_EQ(bitField(fp::kHalf, 9), F::MantissaHigh);
+    EXPECT_EQ(bitField(fp::kHalf, 5), F::MantissaHigh);
+    EXPECT_EQ(bitField(fp::kHalf, 4), F::MantissaLow);
+    EXPECT_EQ(bitField(fp::kHalf, 0), F::MantissaLow);
+    // binary64: bit 63 sign, 52..62 exponent.
+    EXPECT_EQ(bitField(fp::kDouble, 63), F::Sign);
+    EXPECT_EQ(bitField(fp::kDouble, 52), F::Exponent);
+    EXPECT_EQ(bitField(fp::kDouble, 51), F::MantissaHigh);
+    EXPECT_EQ(bitField(fp::kDouble, 25), F::MantissaLow);
+}
+
+TEST(FaultAnatomyTest, MemoryCampaignRecordsEveryTrial)
+{
+    auto w = workloads::makeWorkload("mxm", Precision::Half, 0.1);
+    CampaignConfig config;
+    config.trials = 200;
+    config.recordAnatomy = true;
+    const CampaignResult r = runMemoryCampaign(*w, config);
+    EXPECT_EQ(r.anatomy.size(), r.trials);
+    std::uint64_t sdc = 0;
+    for (const auto &a : r.anatomy) {
+        EXPECT_GE(a.bit, 0);
+        EXPECT_LT(a.bit, 16);
+        sdc += a.outcome == OutcomeKind::Sdc;
+    }
+    EXPECT_EQ(sdc, r.sdc);
+    // Exponent flips propagate at least as often as low-mantissa
+    // ones, and their SDCs are (weakly) larger.
+    EXPECT_GT(r.fieldAvf(FaultAnatomy::Field::Exponent), 0.3);
+}
+
+TEST(FaultAnatomyTest, DisabledByDefault)
+{
+    auto w = workloads::makeWorkload("mxm", Precision::Half, 0.1);
+    CampaignConfig config;
+    config.trials = 50;
+    const CampaignResult r = runMemoryCampaign(*w, config);
+    EXPECT_TRUE(r.anatomy.empty());
+}
+
+TEST(FaultAnatomyTest, LowMantissaCriticalityGrowsAsPrecisionShrinks)
+{
+    // The paper's introductory hypothesis, quantified: the share of
+    // low-mantissa SDCs exceeding 1% deviation is ~0 in double and
+    // substantial in half.
+    CampaignConfig config;
+    config.trials = 600;
+    config.recordAnatomy = true;
+    auto critical_share = [&](Precision p) {
+        auto w = workloads::makeWorkload("mxm", p, 0.1);
+        const CampaignResult r = runMemoryCampaign(*w, config);
+        std::uint64_t sdc = 0, critical = 0;
+        for (const auto &a : r.anatomy) {
+            if (a.field != FaultAnatomy::Field::MantissaLow ||
+                a.outcome != OutcomeKind::Sdc) {
+                continue;
+            }
+            ++sdc;
+            critical += a.maxRel > 0.01;
+        }
+        return sdc ? static_cast<double>(critical) / sdc : 0.0;
+    };
+    const double d = critical_share(Precision::Double);
+    const double h = critical_share(Precision::Half);
+    EXPECT_LT(d, 0.05);
+    EXPECT_GT(h, d + 0.1);
+}
+
+} // namespace
+} // namespace mparch::fault

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Correctness tests for the softfloat core against native IEEE754
+ * hardware arithmetic.
+ *
+ * Oracles:
+ *  - binary64 ops   -> native double (x86-64 SSE2, RNE),
+ *  - binary32 ops   -> native float / fmaf,
+ *  - binary16 +,-,*,/,sqrt -> compute in double, round once to half;
+ *    innocuous double rounding because 53 >= 2*11 + 2 (Figueroa),
+ *  - binary16 fma   -> exact 128-bit fixed-point reference (the exact
+ *    result of a half fma spans < 83 bits).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.hh"
+#include "fp/softfloat.hh"
+#include "fp/value.hh"
+
+namespace mparch::fp {
+namespace {
+
+std::uint64_t
+d2u(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+double
+u2d(std::uint64_t u)
+{
+    return std::bit_cast<double>(u);
+}
+
+std::uint64_t
+f2u(float v)
+{
+    return std::bit_cast<std::uint32_t>(v);
+}
+
+float
+u2f(std::uint64_t u)
+{
+    return std::bit_cast<float>(static_cast<std::uint32_t>(u));
+}
+
+/** Round a double to binary16 bits with a single RNE rounding. */
+std::uint64_t
+refDoubleToHalf(double v)
+{
+    return fpConvertSilent(kHalf, kDouble, d2u(v));
+}
+
+/** Expect bit-identical results, allowing any-NaN == any-NaN. */
+void
+expectSame(Format f, std::uint64_t expected, std::uint64_t actual,
+           const std::string &what)
+{
+    if (isNaN(f, expected) && isNaN(f, actual))
+        return;
+    EXPECT_EQ(expected, actual) << what;
+}
+
+/** Draw a random bit pattern covering all classes incl. specials. */
+std::uint64_t
+randomBits(Rng &rng, Format f)
+{
+    const int kind = static_cast<int>(rng.below(10));
+    switch (kind) {
+      case 0: return zero(f, rng.chance(0.5));
+      case 1: return infinity(f, rng.chance(0.5));
+      case 2: return quietNaN(f);
+      case 3: // subnormal
+        return packFields(f, rng.chance(0.5), 0,
+                          rng.below(f.manMask()) + 1);
+      case 4: // near-overflow normal
+        return packFields(f, rng.chance(0.5),
+                          f.maxBiasedExp() - 1 -
+                              static_cast<int>(rng.below(3)),
+                          rng.below(f.manMask() + 1));
+      case 5: // tiny normal
+        return packFields(f, rng.chance(0.5),
+                          1 + static_cast<int>(rng.below(3)),
+                          rng.below(f.manMask() + 1));
+      default: // generic normal
+        return packFields(
+            f, rng.chance(0.5),
+            1 + static_cast<int>(rng.below(
+                    static_cast<std::uint64_t>(f.maxBiasedExp() - 1))),
+            rng.below(f.manMask() + 1));
+    }
+}
+
+constexpr int kRandomTrials = 200000;
+
+// ---------------------------------------------------------------
+// binary64 against native double
+// ---------------------------------------------------------------
+
+TEST(FpDouble, AddMatchesNative)
+{
+    Rng rng(1);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        const std::uint64_t a = randomBits(rng, kDouble);
+        const std::uint64_t b = randomBits(rng, kDouble);
+        expectSame(kDouble, d2u(u2d(a) + u2d(b)), fpAdd(kDouble, a, b),
+                   "add");
+    }
+}
+
+TEST(FpDouble, SubMatchesNative)
+{
+    Rng rng(2);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        const std::uint64_t a = randomBits(rng, kDouble);
+        const std::uint64_t b = randomBits(rng, kDouble);
+        expectSame(kDouble, d2u(u2d(a) - u2d(b)), fpSub(kDouble, a, b),
+                   "sub");
+    }
+}
+
+TEST(FpDouble, MulMatchesNative)
+{
+    Rng rng(3);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        const std::uint64_t a = randomBits(rng, kDouble);
+        const std::uint64_t b = randomBits(rng, kDouble);
+        expectSame(kDouble, d2u(u2d(a) * u2d(b)), fpMul(kDouble, a, b),
+                   "mul");
+    }
+}
+
+TEST(FpDouble, DivMatchesNative)
+{
+    Rng rng(4);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        const std::uint64_t a = randomBits(rng, kDouble);
+        const std::uint64_t b = randomBits(rng, kDouble);
+        expectSame(kDouble, d2u(u2d(a) / u2d(b)), fpDiv(kDouble, a, b),
+                   "div");
+    }
+}
+
+TEST(FpDouble, SqrtMatchesNative)
+{
+    Rng rng(5);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        const std::uint64_t a = randomBits(rng, kDouble);
+        expectSame(kDouble, d2u(std::sqrt(u2d(a))), fpSqrt(kDouble, a),
+                   "sqrt");
+    }
+}
+
+TEST(FpDouble, FmaMatchesNative)
+{
+    Rng rng(6);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        const std::uint64_t a = randomBits(rng, kDouble);
+        const std::uint64_t b = randomBits(rng, kDouble);
+        const std::uint64_t c = randomBits(rng, kDouble);
+        expectSame(kDouble, d2u(std::fma(u2d(a), u2d(b), u2d(c))),
+                   fpFma(kDouble, a, b, c), "fma");
+    }
+}
+
+TEST(FpDouble, CancellationAndEdges)
+{
+    // Massive cancellation must be exact.
+    const double x = 0x1.0000000000001p+10;
+    const double y = 0x1.0p+10;
+    expectSame(kDouble, d2u(x - y), fpSub(kDouble, d2u(x), d2u(y)),
+               "cancel");
+    // Smallest subnormal arithmetic.
+    const double tiny = 0x1p-1074;
+    expectSame(kDouble, d2u(tiny + tiny),
+               fpAdd(kDouble, d2u(tiny), d2u(tiny)), "subnormal add");
+    // Overflow rounds to infinity.
+    const double big = std::numeric_limits<double>::max();
+    expectSame(kDouble, d2u(big + big * 0x1p-1),
+               fpAdd(kDouble, d2u(big), d2u(big * 0x1p-1)), "overflow");
+    // Inf - Inf is NaN.
+    EXPECT_TRUE(isNaN(kDouble,
+                      fpSub(kDouble, infinity(kDouble, false),
+                            infinity(kDouble, false))));
+    // 0 * Inf is NaN.
+    EXPECT_TRUE(isNaN(kDouble,
+                      fpMul(kDouble, zero(kDouble, false),
+                            infinity(kDouble, true))));
+    // 0/0 and Inf/Inf are NaN; x/0 is inf.
+    EXPECT_TRUE(isNaN(kDouble, fpDiv(kDouble, zero(kDouble, false),
+                                     zero(kDouble, false))));
+    EXPECT_TRUE(isNaN(kDouble, fpDiv(kDouble, infinity(kDouble, false),
+                                     infinity(kDouble, false))));
+    expectSame(kDouble, infinity(kDouble, true),
+               fpDiv(kDouble, d2u(-3.0), zero(kDouble, false)),
+               "div by zero");
+    // sqrt of a negative is NaN.
+    EXPECT_TRUE(isNaN(kDouble, fpSqrt(kDouble, d2u(-1.0))));
+}
+
+// ---------------------------------------------------------------
+// binary32 against native float
+// ---------------------------------------------------------------
+
+TEST(FpSingle, AddSubMulDivMatchNative)
+{
+    Rng rng(7);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        const std::uint64_t a = randomBits(rng, kSingle);
+        const std::uint64_t b = randomBits(rng, kSingle);
+        expectSame(kSingle, f2u(u2f(a) + u2f(b)), fpAdd(kSingle, a, b),
+                   "add");
+        expectSame(kSingle, f2u(u2f(a) - u2f(b)), fpSub(kSingle, a, b),
+                   "sub");
+        expectSame(kSingle, f2u(u2f(a) * u2f(b)), fpMul(kSingle, a, b),
+                   "mul");
+        expectSame(kSingle, f2u(u2f(a) / u2f(b)), fpDiv(kSingle, a, b),
+                   "div");
+    }
+}
+
+TEST(FpSingle, SqrtAndFmaMatchNative)
+{
+    Rng rng(8);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        const std::uint64_t a = randomBits(rng, kSingle);
+        const std::uint64_t b = randomBits(rng, kSingle);
+        const std::uint64_t c = randomBits(rng, kSingle);
+        expectSame(kSingle, f2u(std::sqrt(u2f(a))), fpSqrt(kSingle, a),
+                   "sqrt");
+        expectSame(kSingle, f2u(std::fmaf(u2f(a), u2f(b), u2f(c))),
+                   fpFma(kSingle, a, b, c), "fma");
+    }
+}
+
+// ---------------------------------------------------------------
+// binary16 against double-then-round / exact integer reference
+// ---------------------------------------------------------------
+
+TEST(FpHalfOps, AddSubMulDivSqrtMatchReference)
+{
+    Rng rng(9);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        const std::uint64_t a = randomBits(rng, kHalf);
+        const std::uint64_t b = randomBits(rng, kHalf);
+        const double da = fpToDouble(kHalf, a);
+        const double db = fpToDouble(kHalf, b);
+        expectSame(kHalf, refDoubleToHalf(da + db), fpAdd(kHalf, a, b),
+                   "add");
+        expectSame(kHalf, refDoubleToHalf(da - db), fpSub(kHalf, a, b),
+                   "sub");
+        expectSame(kHalf, refDoubleToHalf(da * db), fpMul(kHalf, a, b),
+                   "mul");
+        expectSame(kHalf, refDoubleToHalf(da / db), fpDiv(kHalf, a, b),
+                   "div");
+        expectSame(kHalf, refDoubleToHalf(std::sqrt(da)),
+                   fpSqrt(kHalf, a), "sqrt");
+    }
+}
+
+/**
+ * Exact reference for half fma: every binary16 value is an integer
+ * multiple of 2^-48 once a*b is formed, and |a*b + c| < 2^33, so the
+ * exact sum fits in a signed 128-bit fixed-point value at scale 2^-48.
+ */
+std::uint64_t
+refHalfFma(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    const double exact_scaled =
+        fpToDouble(kHalf, a) * fpToDouble(kHalf, b);  // exact: 22 bits
+    // a*b is exact in double (<= 22 significand bits). c is exact.
+    // Their sum may not be exact in double, so build it in fixed
+    // point: scale 2^-48 makes all three terms integers.
+    const auto to_fixed = [](double v) {
+        return static_cast<__int128>(std::ldexp(v, 48));
+    };
+    const __int128 sum =
+        to_fixed(exact_scaled) + to_fixed(fpToDouble(kHalf, c));
+    // Round the fixed-point sum once into binary16 via the softfloat
+    // roundPack on the absolute value (independent of the add path
+    // under test only in alignment, but exercised against the native
+    // double path everywhere else).
+    const bool neg = sum < 0;
+    unsigned __int128 mag =
+        neg ? static_cast<unsigned __int128>(-sum)
+            : static_cast<unsigned __int128>(sum);
+    if (mag == 0) {
+        // IEEE signed-zero rules: a zero sum is -0 only when both the
+        // product and the addend are (signed) zeros with sign bits
+        // set; exact cancellation of non-zeros gives +0 under RNE.
+        const bool prod_sign = signOf(kHalf, a) != signOf(kHalf, b);
+        const bool prod_zero =
+            isZero(kHalf, a) || isZero(kHalf, b);
+        const bool neg_zero = prod_zero && isZero(kHalf, c) &&
+                              prod_sign && signOf(kHalf, c);
+        return zero(kHalf, neg_zero);
+    }
+    // Reduce to 64 bits; values are < 2^(33+48) = 2^81.
+    int exp = -48;
+    while (mag >> 64) {
+        mag = shiftRightSticky128(mag, 1);
+        ++exp;
+    }
+    return roundPack(kHalf,
+                     {neg, exp, static_cast<std::uint64_t>(mag)},
+                     nullptr, OpKind::Fma);
+}
+
+TEST(FpHalfOps, FmaMatchesExactReference)
+{
+    Rng rng(10);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        std::uint64_t a = randomBits(rng, kHalf);
+        std::uint64_t b = randomBits(rng, kHalf);
+        std::uint64_t c = randomBits(rng, kHalf);
+        // The fixed-point reference only covers finite operands.
+        if (!isFinite(kHalf, a) || !isFinite(kHalf, b) ||
+            !isFinite(kHalf, c)) {
+            continue;
+        }
+        expectSame(kHalf, refHalfFma(a, b, c), fpFma(kHalf, a, b, c),
+                   "fma");
+    }
+}
+
+// ---------------------------------------------------------------
+// Comparisons and conversions
+// ---------------------------------------------------------------
+
+TEST(FpCompare, MatchesNativeDouble)
+{
+    Rng rng(11);
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t a = randomBits(rng, kDouble);
+        const std::uint64_t b = randomBits(rng, kDouble);
+        EXPECT_EQ(u2d(a) == u2d(b), fpEqual(kDouble, a, b));
+        EXPECT_EQ(u2d(a) < u2d(b), fpLess(kDouble, a, b));
+        EXPECT_EQ(u2d(a) <= u2d(b), fpLessEqual(kDouble, a, b));
+    }
+}
+
+TEST(FpConvert, NarrowingMatchesNativeCast)
+{
+    Rng rng(12);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        const std::uint64_t a = randomBits(rng, kDouble);
+        expectSame(kSingle, f2u(static_cast<float>(u2d(a))),
+                   fpConvertSilent(kSingle, kDouble, a), "d->s");
+    }
+}
+
+TEST(FpConvert, WideningIsExactRoundTrip)
+{
+    Rng rng(13);
+    for (int i = 0; i < kRandomTrials; ++i) {
+        const std::uint64_t h = randomBits(rng, kHalf);
+        const std::uint64_t s = fpConvertSilent(kSingle, kHalf, h);
+        const std::uint64_t d = fpConvertSilent(kDouble, kHalf, h);
+        expectSame(kHalf, h, fpConvertSilent(kHalf, kSingle, s),
+                   "h->s->h");
+        expectSame(kHalf, h, fpConvertSilent(kHalf, kDouble, d),
+                   "h->d->h");
+        const std::uint64_t f32 = randomBits(rng, kSingle);
+        expectSame(kSingle, f32,
+                   fpConvertSilent(
+                       kSingle, kDouble,
+                       fpConvertSilent(kDouble, kSingle, f32)),
+                   "s->d->s");
+    }
+}
+
+TEST(FpConvert, HalfOverflowAndUnderflow)
+{
+    // 65520.0 rounds up past max half (65504) -> inf.
+    expectSame(kHalf, infinity(kHalf, false),
+               fpFromDouble(kHalf, 65520.0), "overflow to inf");
+    // 65519.99 rounds to 65504.
+    expectSame(kHalf, maxFinite(kHalf, false),
+               fpFromDouble(kHalf, 65519.99), "round to max");
+    // Below half the smallest subnormal -> zero.
+    expectSame(kHalf, zero(kHalf, false),
+               fpFromDouble(kHalf, 0x1p-26), "underflow to zero");
+    // Exactly representable subnormal survives.
+    expectSame(kHalf, packFields(kHalf, false, 0, 1),
+               fpFromDouble(kHalf, 0x1p-24), "min subnormal");
+}
+
+// ---------------------------------------------------------------
+// exp()
+// ---------------------------------------------------------------
+
+TEST(FpExp, AccuracyPerPrecision)
+{
+    Rng rng(14);
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.uniform(-20.0, 20.0);
+        // double: within a few ulps.
+        {
+            const double got =
+                fpToDouble(kDouble, fpExp(kDouble, d2u(x)));
+            const double want = std::exp(x);
+            EXPECT_NEAR(got / want, 1.0, 1e-13) << "x=" << x;
+        }
+        // single: relative error ~1e-6.
+        {
+            const std::uint64_t xs = fpFromDouble(kSingle, x);
+            const double got = fpToDouble(kSingle, fpExp(kSingle, xs));
+            const double want = std::exp(fpToDouble(kSingle, xs));
+            EXPECT_NEAR(got / want, 1.0, 1e-5) << "x=" << x;
+        }
+    }
+    // half: relative error well under 1%.
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.uniform(-8.0, 8.0);
+        const std::uint64_t xh = fpFromDouble(kHalf, x);
+        const double got = fpToDouble(kHalf, fpExp(kHalf, xh));
+        const double want = std::exp(fpToDouble(kHalf, xh));
+        EXPECT_NEAR(got / want, 1.0, 5e-3) << "x=" << x;
+    }
+}
+
+TEST(FpExp, SpecialValues)
+{
+    EXPECT_EQ(one(kDouble), fpExp(kDouble, zero(kDouble, false)));
+    EXPECT_EQ(infinity(kDouble, false),
+              fpExp(kDouble, infinity(kDouble, false)));
+    EXPECT_EQ(zero(kDouble, false),
+              fpExp(kDouble, infinity(kDouble, true)));
+    EXPECT_TRUE(isNaN(kDouble, fpExp(kDouble, quietNaN(kDouble))));
+    // Overflow and underflow saturate.
+    EXPECT_EQ(infinity(kDouble, false), fpExp(kDouble, d2u(1000.0)));
+    EXPECT_EQ(zero(kDouble, false), fpExp(kDouble, d2u(-1000.0)));
+    EXPECT_EQ(infinity(kHalf, false),
+              fpExp(kHalf, fpFromDouble(kHalf, 12.0)));
+    EXPECT_EQ(zero(kHalf, false),
+              fpExp(kHalf, fpFromDouble(kHalf, -18.0)));
+}
+
+} // namespace
+} // namespace mparch::fp

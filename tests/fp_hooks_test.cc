@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the datapath hook machinery: op counting, stage
+ * perturbation, context nesting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fp/softfloat.hh"
+#include "fp/value.hh"
+
+namespace mparch::fp {
+namespace {
+
+/** Hook that records every stage visit. */
+class RecordingHook : public FpHook
+{
+  public:
+    struct Visit
+    {
+        OpKind op;
+        Stage stage;
+        unsigned width;
+        std::uint64_t value;
+    };
+
+    std::uint64_t
+    perturb(OpKind op, Stage stage, unsigned width,
+            std::uint64_t value) override
+    {
+        visits.push_back({op, stage, width, value});
+        return value;
+    }
+
+    bool
+    sawStage(Stage s) const
+    {
+        for (const auto &v : visits)
+            if (v.stage == s)
+                return true;
+        return false;
+    }
+
+    std::vector<Visit> visits;
+};
+
+/** Hook that flips one bit at one (op-kind, stage) the first time. */
+class OneShotFlip : public FpHook
+{
+  public:
+    OneShotFlip(OpKind op, Stage stage, unsigned bit)
+        : op_(op), stage_(stage), bit_(bit)
+    {}
+
+    std::uint64_t
+    perturb(OpKind op, Stage stage, unsigned width,
+            std::uint64_t value) override
+    {
+        if (!fired_ && op == op_ && stage == stage_ && bit_ < width) {
+            fired_ = true;
+            return value ^ (1ULL << bit_);
+        }
+        return value;
+    }
+
+    bool fired() const { return fired_; }
+
+  private:
+    OpKind op_;
+    Stage stage_;
+    unsigned bit_;
+    bool fired_ = false;
+};
+
+TEST(FpContextTest, CountsOpsByKind)
+{
+    FpContext ctx;
+    {
+        FpEnvGuard guard(ctx);
+        const auto a = FpDouble::fromDouble(1.25);
+        const auto b = FpDouble::fromDouble(2.5);
+        (void)(a + b);
+        (void)(a - b);
+        (void)(a * b);
+        (void)(a / b);
+        (void)fma(a, b, a);
+        (void)sqrt(b);
+    }
+    EXPECT_EQ(ctx.count(OpKind::Add), 1u);
+    EXPECT_EQ(ctx.count(OpKind::Sub), 1u);
+    EXPECT_EQ(ctx.count(OpKind::Mul), 1u);
+    EXPECT_EQ(ctx.count(OpKind::Div), 1u);
+    EXPECT_EQ(ctx.count(OpKind::Fma), 1u);
+    EXPECT_EQ(ctx.count(OpKind::Sqrt), 1u);
+    EXPECT_EQ(ctx.totalOps(), 6u);
+}
+
+TEST(FpContextTest, NoContextMeansNoCounting)
+{
+    EXPECT_EQ(currentContext(), nullptr);
+    const auto a = FpSingle::fromDouble(3.0);
+    (void)(a * a);  // must not crash without a context
+    EXPECT_EQ(currentContext(), nullptr);
+}
+
+TEST(FpContextTest, GuardsNest)
+{
+    FpContext outer, inner;
+    FpEnvGuard g1(outer);
+    EXPECT_EQ(currentContext(), &outer);
+    {
+        FpEnvGuard g2(inner);
+        EXPECT_EQ(currentContext(), &inner);
+        const auto a = FpHalf::fromDouble(1.0);
+        (void)(a + a);
+    }
+    EXPECT_EQ(currentContext(), &outer);
+    EXPECT_EQ(inner.count(OpKind::Add), 1u);
+    EXPECT_EQ(outer.count(OpKind::Add), 0u);
+}
+
+TEST(FpContextTest, ExpCountsConstituentOps)
+{
+    FpContext ctx;
+    {
+        FpEnvGuard guard(ctx);
+        (void)exp(FpDouble::fromDouble(0.7));
+    }
+    EXPECT_EQ(ctx.count(OpKind::Exp), 1u);
+    // Range reduction + Horner chain runs real FMA/MUL ops.
+    EXPECT_GE(ctx.count(OpKind::Fma), 10u);
+    EXPECT_GE(ctx.count(OpKind::Mul), 1u);
+}
+
+TEST(HookStages, AddVisitsExpectedStages)
+{
+    FpContext ctx;
+    RecordingHook hook;
+    ctx.hook = &hook;
+    {
+        FpEnvGuard guard(ctx);
+        (void)(FpDouble::fromDouble(1.5) + FpDouble::fromDouble(2.25));
+    }
+    EXPECT_TRUE(hook.sawStage(Stage::OperandA));
+    EXPECT_TRUE(hook.sawStage(Stage::OperandB));
+    EXPECT_TRUE(hook.sawStage(Stage::AlignedSigA));
+    EXPECT_TRUE(hook.sawStage(Stage::AlignedSigB));
+    EXPECT_TRUE(hook.sawStage(Stage::PreRoundSig));
+    EXPECT_TRUE(hook.sawStage(Stage::ExponentLogic));
+    EXPECT_TRUE(hook.sawStage(Stage::Result));
+    EXPECT_FALSE(hook.sawStage(Stage::ProductLo));
+}
+
+TEST(HookStages, MulVisitsProductStages)
+{
+    FpContext ctx;
+    RecordingHook hook;
+    ctx.hook = &hook;
+    {
+        FpEnvGuard guard(ctx);
+        (void)(FpDouble::fromDouble(1.5) * FpDouble::fromDouble(2.25));
+    }
+    EXPECT_TRUE(hook.sawStage(Stage::ProductLo));
+    EXPECT_TRUE(hook.sawStage(Stage::ProductHi));
+    EXPECT_TRUE(hook.sawStage(Stage::Result));
+}
+
+TEST(HookStages, FmaVisitsOperandC)
+{
+    FpContext ctx;
+    RecordingHook hook;
+    ctx.hook = &hook;
+    {
+        FpEnvGuard guard(ctx);
+        (void)fma(FpSingle::fromDouble(2.0), FpSingle::fromDouble(3.0),
+                  FpSingle::fromDouble(4.0));
+    }
+    EXPECT_TRUE(hook.sawStage(Stage::OperandC));
+    EXPECT_TRUE(hook.sawStage(Stage::ProductLo));
+}
+
+TEST(HookFlips, OperandFlipChangesResult)
+{
+    FpContext ctx;
+    OneShotFlip hook(OpKind::Mul, Stage::OperandA, 52);  // top mantissa
+    ctx.hook = &hook;
+    double corrupted;
+    {
+        FpEnvGuard guard(ctx);
+        corrupted = (FpDouble::fromDouble(1.5) *
+                     FpDouble::fromDouble(2.0)).toDouble();
+    }
+    EXPECT_TRUE(hook.fired());
+    EXPECT_NE(corrupted, 3.0);
+}
+
+TEST(HookFlips, LowProductBitUsuallyRoundedAway)
+{
+    // A flip in bit 0 of the 128-bit product of two doubles sits ~53
+    // positions below the kept significand: rounding absorbs it.
+    FpContext ctx;
+    OneShotFlip hook(OpKind::Mul, Stage::ProductLo, 0);
+    ctx.hook = &hook;
+    double corrupted;
+    {
+        FpEnvGuard guard(ctx);
+        corrupted = (FpDouble::fromDouble(1.0000001) *
+                     FpDouble::fromDouble(1.9999999)).toDouble();
+    }
+    EXPECT_TRUE(hook.fired());
+    EXPECT_DOUBLE_EQ(corrupted, 1.0000001 * 1.9999999);
+}
+
+TEST(HookFlips, HalfProductFlipMoreVisible)
+{
+    // In binary16 the same low product bit is only ~11 positions
+    // below the kept significand of this product; flipping a mid
+    // product bit changes the rounded result.
+    FpContext ctx;
+    OneShotFlip hook(OpKind::Mul, Stage::ProductLo, 9);
+    ctx.hook = &hook;
+    std::uint64_t corrupted;
+    {
+        FpEnvGuard guard(ctx);
+        corrupted = (FpHalf::fromDouble(1.5) *
+                     FpHalf::fromDouble(1.2001953125)).bits();
+    }
+    const std::uint64_t clean =
+        fpMul(kHalf, fpFromDouble(kHalf, 1.5),
+              fpFromDouble(kHalf, 1.2001953125));
+    EXPECT_TRUE(hook.fired());
+    EXPECT_NE(corrupted, clean);
+}
+
+TEST(HookFlips, ExponentFlipScalesResult)
+{
+    FpContext ctx;
+    OneShotFlip hook(OpKind::Add, Stage::ExponentLogic, 0);
+    ctx.hook = &hook;
+    double corrupted;
+    {
+        FpEnvGuard guard(ctx);
+        corrupted = (FpDouble::fromDouble(1.0) +
+                     FpDouble::fromDouble(1.0)).toDouble();
+    }
+    // Flipping exponent bit 0 halves or doubles the magnitude.
+    EXPECT_TRUE(corrupted == 1.0 || corrupted == 4.0) << corrupted;
+}
+
+} // namespace
+} // namespace mparch::fp

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Generality tests: the softfloat core must be correct for *any*
+ * IEEE754-shaped format, not just the five named ones. Random
+ * (expBits, manBits) combinations are swept with the double-compute-
+ * then-round oracle, which is exact for every format with
+ * 2*manBits + 2 <= 53 (Figueroa's innocuous-double-rounding bound),
+ * plus algebraic properties for the wider ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "fp/softfloat.hh"
+
+namespace mparch::fp {
+namespace {
+
+std::uint64_t
+d2u(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+/** Random finite pattern in an arbitrary format. */
+std::uint64_t
+randomBits(Rng &rng, Format f)
+{
+    const int kind = static_cast<int>(rng.below(8));
+    switch (kind) {
+      case 0: return zero(f, rng.chance(0.5));
+      case 1: // subnormal
+        return packFields(f, rng.chance(0.5), 0,
+                          rng.below(f.manMask()) + 1);
+      case 2: // near max
+        return packFields(f, rng.chance(0.5), f.maxBiasedExp() - 1,
+                          rng.below(f.manMask() + 1));
+      default:
+        return packFields(
+            f, rng.chance(0.5),
+            1 + static_cast<int>(rng.below(
+                    static_cast<std::uint64_t>(f.maxBiasedExp() - 1))),
+            rng.below(f.manMask() + 1));
+    }
+}
+
+/** Formats small enough for the exact double oracle. */
+Format
+randomNarrowFormat(Rng &rng)
+{
+    // manBits <= 25 keeps 2m+2 <= 52 < 53; expBits in [3, 10].
+    const auto exp_bits =
+        static_cast<std::uint8_t>(3 + rng.below(8));
+    const auto man_bits =
+        static_cast<std::uint8_t>(2 + rng.below(24));
+    const auto total = static_cast<std::uint8_t>(
+        1 + exp_bits + man_bits);
+    return Format{exp_bits, man_bits, total};
+}
+
+TEST(RandomFormats, AddMulDivSqrtMatchDoubleOracle)
+{
+    Rng rng(71);
+    for (int fmt = 0; fmt < 60; ++fmt) {
+        const Format f = randomNarrowFormat(rng);
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t a = randomBits(rng, f);
+            const std::uint64_t b = randomBits(rng, f);
+            const double da = fpToDouble(f, a);
+            const double db = fpToDouble(f, b);
+            const auto oracle = [&](double v) {
+                return fpConvertSilent(f, kDouble, d2u(v));
+            };
+            ASSERT_EQ(oracle(da + db), fpAdd(f, a, b))
+                << "add e=" << int(f.expBits) << " m="
+                << int(f.manBits) << " a=" << a << " b=" << b;
+            ASSERT_EQ(oracle(da * db), fpMul(f, a, b))
+                << "mul e=" << int(f.expBits) << " m="
+                << int(f.manBits) << " a=" << a << " b=" << b;
+            if (db != 0.0) {
+                ASSERT_EQ(oracle(da / db), fpDiv(f, a, b))
+                    << "div e=" << int(f.expBits) << " m="
+                    << int(f.manBits) << " a=" << a << " b=" << b;
+            }
+            if (da >= 0.0) {
+                ASSERT_EQ(oracle(std::sqrt(da)), fpSqrt(f, a))
+                    << "sqrt e=" << int(f.expBits) << " m="
+                    << int(f.manBits) << " a=" << a;
+            }
+        }
+    }
+}
+
+TEST(RandomFormats, ConversionLatticeIsExactUpwards)
+{
+    // Widening to any format with more exponent AND mantissa bits
+    // and back must be the identity.
+    Rng rng(72);
+    for (int fmt = 0; fmt < 100; ++fmt) {
+        const Format small = randomNarrowFormat(rng);
+        Format big = small;
+        big.expBits = static_cast<std::uint8_t>(small.expBits + 1);
+        big.manBits = static_cast<std::uint8_t>(small.manBits + 3);
+        big.totalBits =
+            static_cast<std::uint8_t>(1 + big.expBits + big.manBits);
+        if (big.totalBits > 64)
+            continue;
+        for (int i = 0; i < 500; ++i) {
+            const std::uint64_t a = randomBits(rng, small);
+            ASSERT_EQ(fpConvertSilent(
+                          small, big,
+                          fpConvertSilent(big, small, a)),
+                      a)
+                << "e=" << int(small.expBits) << " m="
+                << int(small.manBits) << " a=" << a;
+        }
+    }
+}
+
+TEST(RandomFormats, AlgebraicPropertiesForWideFormats)
+{
+    // Wider-than-oracle formats (m up to 52): identity/commutativity.
+    Rng rng(73);
+    for (int fmt = 0; fmt < 30; ++fmt) {
+        const auto exp_bits =
+            static_cast<std::uint8_t>(5 + rng.below(7));
+        const auto man_bits =
+            static_cast<std::uint8_t>(26 + rng.below(27));
+        const Format f{exp_bits, man_bits,
+                       static_cast<std::uint8_t>(
+                           std::min<int>(1 + exp_bits + man_bits,
+                                         64))};
+        if (1 + exp_bits + man_bits > 64)
+            continue;
+        for (int i = 0; i < 1000; ++i) {
+            const std::uint64_t a = randomBits(rng, f);
+            const std::uint64_t b = randomBits(rng, f);
+            ASSERT_EQ(fpAdd(f, a, b), fpAdd(f, b, a));
+            ASSERT_EQ(fpMul(f, a, b), fpMul(f, b, a));
+            ASSERT_EQ(fpMul(f, a, one(f)), a);
+            if (isFinite(f, a))
+                ASSERT_EQ(fpSub(f, a, a), zero(f, false));
+        }
+    }
+}
+
+TEST(RandomFormats, FmaIsCorrectlyRoundedToHalfUlp)
+{
+    // The FMA theorem that *is* pointwise true: one rounding, so the
+    // result is within half an ulp of the exact a*b + c. (The weaker
+    // folk claim "fma is never worse than mul-then-add" is false —
+    // the two-step path's two roundings can cancel luckily.)
+    Rng rng(74);
+    for (int fmt = 0; fmt < 40; ++fmt) {
+        const Format f = randomNarrowFormat(rng);
+        if (f.manBits > 12)
+            continue;  // keep the exact product within double
+        for (int i = 0; i < 1000; ++i) {
+            const std::uint64_t a = randomBits(rng, f);
+            const std::uint64_t b = randomBits(rng, f);
+            const std::uint64_t c = randomBits(rng, f);
+            const double exact = fpToDouble(f, a) * fpToDouble(f, b) +
+                                 fpToDouble(f, c);
+            if (!std::isfinite(exact) || exact == 0.0)
+                continue;
+            const std::uint64_t r = fpFma(f, a, b, c);
+            if (!isFinite(f, r))
+                continue;
+            const double via_fma = fpToDouble(f, r);
+            // ulp in the binade of the *exact* value (a result that
+            // rounds down onto a binade boundary is a full
+            // lower-binade ulp away), floored at the subnormal step.
+            int e_exact = 0;
+            std::frexp(exact, &e_exact);
+            --e_exact;  // frexp mantissa is in [0.5, 1)
+            e_exact = std::max(e_exact, f.minExp());
+            const double ulp = std::ldexp(
+                1.0, e_exact - static_cast<int>(f.manBits));
+            ASSERT_LE(std::abs(via_fma - exact), 0.5 * ulp * 1.0001)
+                << "e=" << int(f.expBits) << " m=" << int(f.manBits)
+                << " a=" << a << " b=" << b << " c=" << c;
+        }
+    }
+}
+
+} // namespace
+} // namespace mparch::fp

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Property-style sweeps over the architecture models: monotonicity,
+ * scaling and consistency invariants that must hold for any
+ * parameter choice (not just the calibrated defaults).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/fpga/fpga.hh"
+#include "arch/fpga/opcost.hh"
+#include "arch/gpu/datapath.hh"
+#include "arch/gpu/params.hh"
+#include "arch/gpu/gpu.hh"
+#include "arch/phi/compiler_model.hh"
+#include "arch/phi/params.hh"
+#include "arch/phi/phi.hh"
+#include "beam/inventory.hh"
+#include "nn/mnistnet.hh"
+#include "nn/nn_workloads.hh"
+
+namespace mparch {
+namespace {
+
+using fp::OpKind;
+using fp::Precision;
+
+// ---------------------------------------------------------------
+// FPGA operator-cost properties
+// ---------------------------------------------------------------
+
+class FpgaCostSweep
+    : public ::testing::TestWithParam<std::tuple<OpKind, fp::Format>>
+{};
+
+TEST_P(FpgaCostSweep, CostsArePositiveAndFiniteEverywhere)
+{
+    const auto &[kind, format] = GetParam();
+    const auto cost = fpga::operatorCost(kind, format);
+    EXPECT_GT(cost.luts, 0.0);
+    EXPECT_GE(cost.dsps, 0.0);
+    EXPECT_LT(cost.luts, 1e6);
+}
+
+TEST_P(FpgaCostSweep, FusedUnitCostsAtLeastItsMultiplier)
+{
+    const auto &[kind, format] = GetParam();
+    if (kind != OpKind::Fma)
+        return;
+    const auto fma = fpga::operatorCost(OpKind::Fma, format);
+    const auto mul = fpga::operatorCost(OpKind::Mul, format);
+    EXPECT_GE(fma.luts, mul.luts);
+    EXPECT_GE(fma.dsps, mul.dsps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndFormats, FpgaCostSweep,
+    ::testing::Combine(
+        ::testing::Values(OpKind::Add, OpKind::Sub, OpKind::Mul,
+                          OpKind::Fma, OpKind::Div, OpKind::Sqrt,
+                          OpKind::Convert, OpKind::Exp),
+        ::testing::Values(fp::kHalf, fp::kBfloat16, fp::kTf32,
+                          fp::kSingle, fp::kDouble)));
+
+TEST(FpgaCostMonotone, WiderSignificandNeverCheaper)
+{
+    // Formats ordered by significand width.
+    const fp::Format order[] = {fp::kBfloat16, fp::kHalf, fp::kTf32,
+                                fp::kSingle, fp::kDouble};
+    for (auto kind : {OpKind::Add, OpKind::Mul, OpKind::Fma,
+                      OpKind::Div}) {
+        double prev = 0.0;
+        for (const auto &format : order) {
+            const double luts =
+                fpga::operatorCost(kind, format).luts;
+            EXPECT_GE(luts, prev) << fp::opKindName(kind);
+            prev = luts;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// FPGA synthesis scaling
+// ---------------------------------------------------------------
+
+TEST(FpgaSynthesisScaling, BiggerProblemsNeedMoreCyclesAndBram)
+{
+    auto report = [](double scale) {
+        auto w =
+            workloads::makeWorkload("mxm", Precision::Single, scale);
+        const fault::GoldenRun golden(*w, 99);
+        return fpga::synthesize(*w, golden);
+    };
+    const auto small = report(0.05);
+    const auto big = report(0.5);
+    EXPECT_GT(big.cycles, small.cycles);
+    EXPECT_GT(big.bramBits, small.bramBits);
+    // The PE budget is fixed, so logic stays put.
+    EXPECT_NEAR(big.luts, small.luts, 1.0);
+}
+
+// ---------------------------------------------------------------
+// GPU datapath-model properties
+// ---------------------------------------------------------------
+
+class GpuDatapathSweep : public ::testing::TestWithParam<Precision>
+{};
+
+TEST_P(GpuDatapathSweep, ControlFloorAndOrdering)
+{
+    const Precision p = GetParam();
+    for (auto kind : {OpKind::Add, OpKind::Mul, OpKind::Fma,
+                      OpKind::Div, OpKind::Sqrt, OpKind::Convert}) {
+        const double bits = gpu::datapathBitsPerCore(kind, p);
+        EXPECT_GE(bits, gpu::kCoreControlBits);
+        EXPECT_LT(bits, 1e5);
+    }
+    EXPECT_GT(gpu::datapathBitsPerCore(OpKind::Fma, p),
+              gpu::datapathBitsPerCore(OpKind::Add, p));
+}
+
+TEST_P(GpuDatapathSweep, MixWeightingIsBounded)
+{
+    const Precision p = GetParam();
+    fp::FpContext ops;
+    ops.opCount[static_cast<std::size_t>(OpKind::Add)] = 100;
+    ops.opCount[static_cast<std::size_t>(OpKind::Fma)] = 300;
+    const double mixed = gpu::mixDatapathBitsPerCore(ops, p);
+    EXPECT_GE(mixed, gpu::datapathBitsPerCore(OpKind::Add, p));
+    EXPECT_LE(mixed, gpu::datapathBitsPerCore(OpKind::Fma, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, GpuDatapathSweep,
+                         ::testing::Values(Precision::Double,
+                                           Precision::Single,
+                                           Precision::Half,
+                                           Precision::Bfloat16));
+
+TEST(GpuDatapathMonotone, DoubleLaneStateWidest)
+{
+    for (auto kind : {OpKind::Mul, OpKind::Fma}) {
+        EXPECT_GT(gpu::datapathBitsPerCore(kind, Precision::Double),
+                  gpu::datapathBitsPerCore(kind, Precision::Single));
+        EXPECT_GT(gpu::datapathBitsPerCore(kind, Precision::Single),
+                  gpu::datapathBitsPerCore(kind, Precision::Half));
+    }
+}
+
+TEST(GpuTimingScaling, TimeGrowsWithProblemSize)
+{
+    for (const char *name : {"mxm", "micro-fma"}) {
+        auto small =
+            workloads::makeWorkload(name, Precision::Single, 0.05);
+        auto big =
+            workloads::makeWorkload(name, Precision::Single, 0.5);
+        const fault::GoldenRun gs(*small, 99), gb(*big, 99);
+        EXPECT_GT(gpu::gpuTimeSeconds(*big, gb),
+                  gpu::gpuTimeSeconds(*small, gs))
+            << name;
+    }
+}
+
+// ---------------------------------------------------------------
+// Phi compiler-model properties
+// ---------------------------------------------------------------
+
+TEST(PhiCompilerSweep, RegistersBoundedByArchitecture)
+{
+    workloads::KernelDesc desc;
+    for (int live = 1; live <= 40; ++live) {
+        desc.liveValues = live;
+        for (int streams = 0; streams <= 6; ++streams) {
+            desc.inputStreams = streams;
+            for (bool data_dep : {false, true}) {
+                desc.dataDependentBounds = data_dep;
+                for (auto p : {Precision::Double,
+                               Precision::Single}) {
+                    const auto k = phi::compileKernel(desc, p);
+                    EXPECT_GE(k.vectorRegisters, 1);
+                    EXPECT_LE(k.vectorRegisters,
+                              phi::kVectorRegisters);
+                }
+            }
+        }
+    }
+}
+
+TEST(PhiCompilerSweep, DataDependentBoundsEqualiseAllocations)
+{
+    workloads::KernelDesc desc;
+    desc.dataDependentBounds = true;
+    for (int live = 1; live <= 20; ++live) {
+        desc.liveValues = live;
+        EXPECT_EQ(
+            phi::compileKernel(desc, Precision::Double)
+                .vectorRegisters,
+            phi::compileKernel(desc, Precision::Single)
+                .vectorRegisters);
+    }
+}
+
+TEST(PhiCompilerSweep, SingleNeverAllocatesFewer)
+{
+    workloads::KernelDesc desc;
+    for (int live = 1; live <= 20; ++live) {
+        desc.liveValues = live;
+        EXPECT_GE(phi::compileKernel(desc, Precision::Single)
+                      .vectorRegisters,
+                  phi::compileKernel(desc, Precision::Double)
+                      .vectorRegisters);
+    }
+}
+
+TEST(PhiTimingScaling, TimeGrowsWithProblemSize)
+{
+    auto small = workloads::makeWorkload("lud", Precision::Double,
+                                         0.05);
+    auto big =
+        workloads::makeWorkload("lud", Precision::Double, 0.5);
+    const fault::GoldenRun gs(*small, 99), gb(*big, 99);
+    EXPECT_GT(phi::phiTimeSeconds(*big, gb),
+              phi::phiTimeSeconds(*small, gs));
+}
+
+// ---------------------------------------------------------------
+// Beam inventory properties
+// ---------------------------------------------------------------
+
+TEST(InventoryProperties, FitIsLinearInBitsAndAvf)
+{
+    beam::ResourceInventory inv;
+    inv.node = beam::Node::Phi22nm;
+    inv.entries = {{"x", beam::BitClass::SramData, 1e5, 0.4, 0.1}};
+    const double base_sdc = inv.fitSdc();
+    const double base_due = inv.fitDue();
+    inv.entries[0].bits *= 3.0;
+    EXPECT_DOUBLE_EQ(inv.fitSdc(), 3.0 * base_sdc);
+    EXPECT_DOUBLE_EQ(inv.fitDue(), 3.0 * base_due);
+    inv.entries[0].avfSdc *= 0.5;
+    EXPECT_DOUBLE_EQ(inv.fitSdc(), 1.5 * base_sdc);
+}
+
+TEST(InventoryProperties, EntriesCompose)
+{
+    beam::ResourceInventory a, b, both;
+    a.entries = {{"x", beam::BitClass::SramData, 1e5, 0.4, 0.0}};
+    b.entries = {{"y", beam::BitClass::ControlLatch, 2e4, 0.0, 0.3}};
+    both.entries = {a.entries[0], b.entries[0]};
+    EXPECT_DOUBLE_EQ(both.fitSdc(), a.fitSdc() + b.fitSdc());
+    EXPECT_DOUBLE_EQ(both.fitDue(), a.fitDue() + b.fitDue());
+}
+
+// ---------------------------------------------------------------
+// Workload engine-window consistency
+// ---------------------------------------------------------------
+
+TEST(EngineWindows, MnistEnginesTileTheFmaStream)
+{
+    auto w = nn::makeAnyWorkload("mnist", Precision::Single, 1.0);
+    const fault::GoldenRun golden(*w, 99);
+    const auto engines = w->engines(golden.ops);
+    ASSERT_EQ(engines.size(), 2u);
+    const auto &conv = engines[0];
+    const auto &dense = engines[1];
+    // Windows tile the period exactly.
+    EXPECT_EQ(conv.lo, 0u);
+    EXPECT_EQ(conv.hi, dense.lo);
+    EXPECT_EQ(dense.hi, conv.period);
+    EXPECT_EQ(conv.period, dense.period);
+    // The FMA stream is a whole number of periods.
+    EXPECT_EQ(golden.ops.count(OpKind::Fma) % conv.period, 0u);
+    // Shares sum to one.
+    EXPECT_DOUBLE_EQ(conv.share() + dense.share(), 1.0);
+}
+
+TEST(EngineWindows, DefaultEnginesCoverEveryActiveKind)
+{
+    auto w =
+        workloads::makeWorkload("lavamd", Precision::Single, 0.1);
+    const fault::GoldenRun golden(*w, 99);
+    const auto engines = w->engines(golden.ops);
+    for (const auto &engine : engines) {
+        EXPECT_GT(golden.ops.count(engine.kind), 0u);
+        EXPECT_DOUBLE_EQ(engine.share(), 1.0);
+    }
+    // Every active non-Exp kind appears exactly once.
+    std::size_t active = 0;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(OpKind::NumKinds); ++k) {
+        const auto kind = static_cast<OpKind>(k);
+        if (kind != OpKind::Exp && golden.ops.count(kind))
+            ++active;
+    }
+    EXPECT_EQ(engines.size(), active);
+}
+
+} // namespace
+} // namespace mparch
