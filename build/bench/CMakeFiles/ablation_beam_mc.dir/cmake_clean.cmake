@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_beam_mc.dir/ablation_beam_mc.cpp.o"
+  "CMakeFiles/ablation_beam_mc.dir/ablation_beam_mc.cpp.o.d"
+  "ablation_beam_mc"
+  "ablation_beam_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_beam_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

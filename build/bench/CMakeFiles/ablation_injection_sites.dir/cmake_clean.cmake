@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_injection_sites.dir/ablation_injection_sites.cpp.o"
+  "CMakeFiles/ablation_injection_sites.dir/ablation_injection_sites.cpp.o.d"
+  "ablation_injection_sites"
+  "ablation_injection_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_injection_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sm_sim.dir/ablation_sm_sim.cpp.o"
+  "CMakeFiles/ablation_sm_sim.dir/ablation_sm_sim.cpp.o.d"
+  "ablation_sm_sim"
+  "ablation_sm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

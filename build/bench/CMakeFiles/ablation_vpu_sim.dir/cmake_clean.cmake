@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vpu_sim.dir/ablation_vpu_sim.cpp.o"
+  "CMakeFiles/ablation_vpu_sim.dir/ablation_vpu_sim.cpp.o.d"
+  "ablation_vpu_sim"
+  "ablation_vpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

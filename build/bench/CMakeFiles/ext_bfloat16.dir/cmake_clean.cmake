@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bfloat16.dir/ext_bfloat16.cpp.o"
+  "CMakeFiles/ext_bfloat16.dir/ext_bfloat16.cpp.o.d"
+  "ext_bfloat16"
+  "ext_bfloat16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bfloat16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

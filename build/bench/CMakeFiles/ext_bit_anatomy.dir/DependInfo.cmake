@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_bit_anatomy.cpp" "bench/CMakeFiles/ext_bit_anatomy.dir/ext_bit_anatomy.cpp.o" "gcc" "bench/CMakeFiles/ext_bit_anatomy.dir/ext_bit_anatomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mparch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/fpga/CMakeFiles/mparch_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/phi/CMakeFiles/mparch_phi.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/gpu/CMakeFiles/mparch_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mparch_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/mparch_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mparch_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/mparch_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mparch_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mparch_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/beam/CMakeFiles/mparch_beam.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mparch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bit_anatomy.dir/ext_bit_anatomy.cpp.o"
+  "CMakeFiles/ext_bit_anatomy.dir/ext_bit_anatomy.cpp.o.d"
+  "ext_bit_anatomy"
+  "ext_bit_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bit_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hotspot_prediction.dir/ext_hotspot_prediction.cpp.o"
+  "CMakeFiles/ext_hotspot_prediction.dir/ext_hotspot_prediction.cpp.o.d"
+  "ext_hotspot_prediction"
+  "ext_hotspot_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hotspot_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

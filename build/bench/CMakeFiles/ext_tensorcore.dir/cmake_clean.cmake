@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tensorcore.dir/ext_tensorcore.cpp.o"
+  "CMakeFiles/ext_tensorcore.dir/ext_tensorcore.cpp.o.d"
+  "ext_tensorcore"
+  "ext_tensorcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tensorcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

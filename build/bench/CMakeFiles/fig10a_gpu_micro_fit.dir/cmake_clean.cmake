@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_gpu_micro_fit.dir/fig10a_gpu_micro_fit.cpp.o"
+  "CMakeFiles/fig10a_gpu_micro_fit.dir/fig10a_gpu_micro_fit.cpp.o.d"
+  "fig10a_gpu_micro_fit"
+  "fig10a_gpu_micro_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_gpu_micro_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

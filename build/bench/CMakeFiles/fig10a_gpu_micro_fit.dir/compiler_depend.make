@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10a_gpu_micro_fit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_gpu_app_fit.dir/fig10b_gpu_app_fit.cpp.o"
+  "CMakeFiles/fig10b_gpu_app_fit.dir/fig10b_gpu_app_fit.cpp.o.d"
+  "fig10b_gpu_app_fit"
+  "fig10b_gpu_app_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_gpu_app_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10c_gpu_yolo_fit.dir/fig10c_gpu_yolo_fit.cpp.o"
+  "CMakeFiles/fig10c_gpu_yolo_fit.dir/fig10c_gpu_yolo_fit.cpp.o.d"
+  "fig10c_gpu_yolo_fit"
+  "fig10c_gpu_yolo_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_gpu_yolo_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

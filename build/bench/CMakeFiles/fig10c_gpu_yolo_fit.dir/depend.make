@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10c_gpu_yolo_fit.
+# This may be replaced when dependencies are built.

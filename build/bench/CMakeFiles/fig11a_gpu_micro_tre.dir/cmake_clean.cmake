@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_gpu_micro_tre.dir/fig11a_gpu_micro_tre.cpp.o"
+  "CMakeFiles/fig11a_gpu_micro_tre.dir/fig11a_gpu_micro_tre.cpp.o.d"
+  "fig11a_gpu_micro_tre"
+  "fig11a_gpu_micro_tre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_gpu_micro_tre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

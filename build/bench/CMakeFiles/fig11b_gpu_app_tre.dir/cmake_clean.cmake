@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_gpu_app_tre.dir/fig11b_gpu_app_tre.cpp.o"
+  "CMakeFiles/fig11b_gpu_app_tre.dir/fig11b_gpu_app_tre.cpp.o.d"
+  "fig11b_gpu_app_tre"
+  "fig11b_gpu_app_tre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_gpu_app_tre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

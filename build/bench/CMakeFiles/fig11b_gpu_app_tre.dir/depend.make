@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11b_gpu_app_tre.
+# This may be replaced when dependencies are built.

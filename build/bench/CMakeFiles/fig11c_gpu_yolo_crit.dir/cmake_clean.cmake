@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_gpu_yolo_crit.dir/fig11c_gpu_yolo_crit.cpp.o"
+  "CMakeFiles/fig11c_gpu_yolo_crit.dir/fig11c_gpu_yolo_crit.cpp.o.d"
+  "fig11c_gpu_yolo_crit"
+  "fig11c_gpu_yolo_crit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_gpu_yolo_crit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11c_gpu_yolo_crit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_gpu_avf.dir/fig12_gpu_avf.cpp.o"
+  "CMakeFiles/fig12_gpu_avf.dir/fig12_gpu_avf.cpp.o.d"
+  "fig12_gpu_avf"
+  "fig12_gpu_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_gpu_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_gpu_avf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_gpu_mebf.dir/fig13_gpu_mebf.cpp.o"
+  "CMakeFiles/fig13_gpu_mebf.dir/fig13_gpu_mebf.cpp.o.d"
+  "fig13_gpu_mebf"
+  "fig13_gpu_mebf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_gpu_mebf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fpga_resources.dir/fig2_fpga_resources.cpp.o"
+  "CMakeFiles/fig2_fpga_resources.dir/fig2_fpga_resources.cpp.o.d"
+  "fig2_fpga_resources"
+  "fig2_fpga_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fpga_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fpga_tre.dir/fig4_fpga_tre.cpp.o"
+  "CMakeFiles/fig4_fpga_tre.dir/fig4_fpga_tre.cpp.o.d"
+  "fig4_fpga_tre"
+  "fig4_fpga_tre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fpga_tre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fpga_mebf.dir/fig5_fpga_mebf.cpp.o"
+  "CMakeFiles/fig5_fpga_mebf.dir/fig5_fpga_mebf.cpp.o.d"
+  "fig5_fpga_mebf"
+  "fig5_fpga_mebf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fpga_mebf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_phi_pvf.dir/fig7_phi_pvf.cpp.o"
+  "CMakeFiles/fig7_phi_pvf.dir/fig7_phi_pvf.cpp.o.d"
+  "fig7_phi_pvf"
+  "fig7_phi_pvf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_phi_pvf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_phi_pvf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_phi_tre.dir/fig8_phi_tre.cpp.o"
+  "CMakeFiles/fig8_phi_tre.dir/fig8_phi_tre.cpp.o.d"
+  "fig8_phi_tre"
+  "fig8_phi_tre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_phi_tre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_phi_mebf.dir/fig9_phi_mebf.cpp.o"
+  "CMakeFiles/fig9_phi_mebf.dir/fig9_phi_mebf.cpp.o.d"
+  "fig9_phi_mebf"
+  "fig9_phi_mebf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_phi_mebf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

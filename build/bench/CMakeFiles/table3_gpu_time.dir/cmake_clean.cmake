@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_gpu_time.dir/table3_gpu_time.cpp.o"
+  "CMakeFiles/table3_gpu_time.dir/table3_gpu_time.cpp.o.d"
+  "table3_gpu_time"
+  "table3_gpu_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_gpu_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

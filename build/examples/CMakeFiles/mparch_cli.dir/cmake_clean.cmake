@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_cli.dir/mparch_cli.cpp.o"
+  "CMakeFiles/mparch_cli.dir/mparch_cli.cpp.o.d"
+  "mparch_cli"
+  "mparch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_gemm.dir/protected_gemm.cpp.o"
+  "CMakeFiles/protected_gemm.dir/protected_gemm.cpp.o.d"
+  "protected_gemm"
+  "protected_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tre_explorer.dir/tre_explorer.cpp.o"
+  "CMakeFiles/tre_explorer.dir/tre_explorer.cpp.o.d"
+  "tre_explorer"
+  "tre_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tre_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("fp")
+subdirs("fault")
+subdirs("workloads")
+subdirs("nn")
+subdirs("mitigation")
+subdirs("arch/fpga")
+subdirs("arch/phi")
+subdirs("arch/gpu")
+subdirs("beam")
+subdirs("metrics")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_fpga.dir/fpga.cc.o"
+  "CMakeFiles/mparch_fpga.dir/fpga.cc.o.d"
+  "CMakeFiles/mparch_fpga.dir/opcost.cc.o"
+  "CMakeFiles/mparch_fpga.dir/opcost.cc.o.d"
+  "libmparch_fpga.a"
+  "libmparch_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

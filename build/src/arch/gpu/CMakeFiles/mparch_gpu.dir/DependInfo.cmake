@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/gpu/datapath.cc" "src/arch/gpu/CMakeFiles/mparch_gpu.dir/datapath.cc.o" "gcc" "src/arch/gpu/CMakeFiles/mparch_gpu.dir/datapath.cc.o.d"
+  "/root/repo/src/arch/gpu/gpu.cc" "src/arch/gpu/CMakeFiles/mparch_gpu.dir/gpu.cc.o" "gcc" "src/arch/gpu/CMakeFiles/mparch_gpu.dir/gpu.cc.o.d"
+  "/root/repo/src/arch/gpu/regfile.cc" "src/arch/gpu/CMakeFiles/mparch_gpu.dir/regfile.cc.o" "gcc" "src/arch/gpu/CMakeFiles/mparch_gpu.dir/regfile.cc.o.d"
+  "/root/repo/src/arch/gpu/sm_sim.cc" "src/arch/gpu/CMakeFiles/mparch_gpu.dir/sm_sim.cc.o" "gcc" "src/arch/gpu/CMakeFiles/mparch_gpu.dir/sm_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/mparch_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/beam/CMakeFiles/mparch_beam.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mparch_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mparch_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mparch_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mparch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_gpu.dir/datapath.cc.o"
+  "CMakeFiles/mparch_gpu.dir/datapath.cc.o.d"
+  "CMakeFiles/mparch_gpu.dir/gpu.cc.o"
+  "CMakeFiles/mparch_gpu.dir/gpu.cc.o.d"
+  "CMakeFiles/mparch_gpu.dir/regfile.cc.o"
+  "CMakeFiles/mparch_gpu.dir/regfile.cc.o.d"
+  "CMakeFiles/mparch_gpu.dir/sm_sim.cc.o"
+  "CMakeFiles/mparch_gpu.dir/sm_sim.cc.o.d"
+  "libmparch_gpu.a"
+  "libmparch_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_phi.dir/compiler_model.cc.o"
+  "CMakeFiles/mparch_phi.dir/compiler_model.cc.o.d"
+  "CMakeFiles/mparch_phi.dir/phi.cc.o"
+  "CMakeFiles/mparch_phi.dir/phi.cc.o.d"
+  "CMakeFiles/mparch_phi.dir/vpu_sim.cc.o"
+  "CMakeFiles/mparch_phi.dir/vpu_sim.cc.o.d"
+  "libmparch_phi.a"
+  "libmparch_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

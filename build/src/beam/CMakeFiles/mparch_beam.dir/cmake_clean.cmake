@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_beam.dir/virtual_beam.cc.o"
+  "CMakeFiles/mparch_beam.dir/virtual_beam.cc.o.d"
+  "libmparch_beam.a"
+  "libmparch_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

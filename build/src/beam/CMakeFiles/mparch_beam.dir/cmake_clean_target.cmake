@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmparch_beam.a"
+)

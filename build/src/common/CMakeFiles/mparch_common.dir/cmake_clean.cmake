@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_common.dir/histogram.cc.o"
+  "CMakeFiles/mparch_common.dir/histogram.cc.o.d"
+  "CMakeFiles/mparch_common.dir/logging.cc.o"
+  "CMakeFiles/mparch_common.dir/logging.cc.o.d"
+  "CMakeFiles/mparch_common.dir/stats.cc.o"
+  "CMakeFiles/mparch_common.dir/stats.cc.o.d"
+  "CMakeFiles/mparch_common.dir/table.cc.o"
+  "CMakeFiles/mparch_common.dir/table.cc.o.d"
+  "libmparch_common.a"
+  "libmparch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

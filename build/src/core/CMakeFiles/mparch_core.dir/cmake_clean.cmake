@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_core.dir/study.cc.o"
+  "CMakeFiles/mparch_core.dir/study.cc.o.d"
+  "libmparch_core.a"
+  "libmparch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

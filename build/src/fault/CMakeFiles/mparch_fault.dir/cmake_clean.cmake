@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_fault.dir/campaign.cc.o"
+  "CMakeFiles/mparch_fault.dir/campaign.cc.o.d"
+  "CMakeFiles/mparch_fault.dir/hooks.cc.o"
+  "CMakeFiles/mparch_fault.dir/hooks.cc.o.d"
+  "libmparch_fault.a"
+  "libmparch_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

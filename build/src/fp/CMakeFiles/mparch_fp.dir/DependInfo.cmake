@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fp/arith.cc" "src/fp/CMakeFiles/mparch_fp.dir/arith.cc.o" "gcc" "src/fp/CMakeFiles/mparch_fp.dir/arith.cc.o.d"
+  "/root/repo/src/fp/convert.cc" "src/fp/CMakeFiles/mparch_fp.dir/convert.cc.o" "gcc" "src/fp/CMakeFiles/mparch_fp.dir/convert.cc.o.d"
+  "/root/repo/src/fp/div_sqrt.cc" "src/fp/CMakeFiles/mparch_fp.dir/div_sqrt.cc.o" "gcc" "src/fp/CMakeFiles/mparch_fp.dir/div_sqrt.cc.o.d"
+  "/root/repo/src/fp/fma.cc" "src/fp/CMakeFiles/mparch_fp.dir/fma.cc.o" "gcc" "src/fp/CMakeFiles/mparch_fp.dir/fma.cc.o.d"
+  "/root/repo/src/fp/hooks.cc" "src/fp/CMakeFiles/mparch_fp.dir/hooks.cc.o" "gcc" "src/fp/CMakeFiles/mparch_fp.dir/hooks.cc.o.d"
+  "/root/repo/src/fp/transcendental.cc" "src/fp/CMakeFiles/mparch_fp.dir/transcendental.cc.o" "gcc" "src/fp/CMakeFiles/mparch_fp.dir/transcendental.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mparch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

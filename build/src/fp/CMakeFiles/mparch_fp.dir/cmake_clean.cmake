@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_fp.dir/arith.cc.o"
+  "CMakeFiles/mparch_fp.dir/arith.cc.o.d"
+  "CMakeFiles/mparch_fp.dir/convert.cc.o"
+  "CMakeFiles/mparch_fp.dir/convert.cc.o.d"
+  "CMakeFiles/mparch_fp.dir/div_sqrt.cc.o"
+  "CMakeFiles/mparch_fp.dir/div_sqrt.cc.o.d"
+  "CMakeFiles/mparch_fp.dir/fma.cc.o"
+  "CMakeFiles/mparch_fp.dir/fma.cc.o.d"
+  "CMakeFiles/mparch_fp.dir/hooks.cc.o"
+  "CMakeFiles/mparch_fp.dir/hooks.cc.o.d"
+  "CMakeFiles/mparch_fp.dir/transcendental.cc.o"
+  "CMakeFiles/mparch_fp.dir/transcendental.cc.o.d"
+  "libmparch_fp.a"
+  "libmparch_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_metrics.dir/metrics.cc.o"
+  "CMakeFiles/mparch_metrics.dir/metrics.cc.o.d"
+  "libmparch_metrics.a"
+  "libmparch_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_mitigation.dir/abft.cc.o"
+  "CMakeFiles/mparch_mitigation.dir/abft.cc.o.d"
+  "CMakeFiles/mparch_mitigation.dir/replicated.cc.o"
+  "CMakeFiles/mparch_mitigation.dir/replicated.cc.o.d"
+  "libmparch_mitigation.a"
+  "libmparch_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

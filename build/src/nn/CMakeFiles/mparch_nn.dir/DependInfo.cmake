@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/digits.cc" "src/nn/CMakeFiles/mparch_nn.dir/digits.cc.o" "gcc" "src/nn/CMakeFiles/mparch_nn.dir/digits.cc.o.d"
+  "/root/repo/src/nn/mnistnet.cc" "src/nn/CMakeFiles/mparch_nn.dir/mnistnet.cc.o" "gcc" "src/nn/CMakeFiles/mparch_nn.dir/mnistnet.cc.o.d"
+  "/root/repo/src/nn/nn_workloads.cc" "src/nn/CMakeFiles/mparch_nn.dir/nn_workloads.cc.o" "gcc" "src/nn/CMakeFiles/mparch_nn.dir/nn_workloads.cc.o.d"
+  "/root/repo/src/nn/yolite.cc" "src/nn/CMakeFiles/mparch_nn.dir/yolite.cc.o" "gcc" "src/nn/CMakeFiles/mparch_nn.dir/yolite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/mparch_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mparch_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mparch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

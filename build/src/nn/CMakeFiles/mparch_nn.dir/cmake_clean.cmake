@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_nn.dir/digits.cc.o"
+  "CMakeFiles/mparch_nn.dir/digits.cc.o.d"
+  "CMakeFiles/mparch_nn.dir/mnistnet.cc.o"
+  "CMakeFiles/mparch_nn.dir/mnistnet.cc.o.d"
+  "CMakeFiles/mparch_nn.dir/nn_workloads.cc.o"
+  "CMakeFiles/mparch_nn.dir/nn_workloads.cc.o.d"
+  "CMakeFiles/mparch_nn.dir/yolite.cc.o"
+  "CMakeFiles/mparch_nn.dir/yolite.cc.o.d"
+  "libmparch_nn.a"
+  "libmparch_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mparch_workloads.dir/registry.cc.o"
+  "CMakeFiles/mparch_workloads.dir/registry.cc.o.d"
+  "libmparch_workloads.a"
+  "libmparch_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mparch_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_metrics_test.dir/beam_metrics_test.cc.o"
+  "CMakeFiles/beam_metrics_test.dir/beam_metrics_test.cc.o.d"
+  "beam_metrics_test"
+  "beam_metrics_test.pdb"
+  "beam_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

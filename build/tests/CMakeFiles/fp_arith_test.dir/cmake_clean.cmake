@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_arith_test.dir/fp_arith_test.cc.o"
+  "CMakeFiles/fp_arith_test.dir/fp_arith_test.cc.o.d"
+  "fp_arith_test"
+  "fp_arith_test.pdb"
+  "fp_arith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_arith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

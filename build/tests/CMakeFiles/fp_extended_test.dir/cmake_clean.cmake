@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_extended_test.dir/fp_extended_test.cc.o"
+  "CMakeFiles/fp_extended_test.dir/fp_extended_test.cc.o.d"
+  "fp_extended_test"
+  "fp_extended_test.pdb"
+  "fp_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_hooks_test.dir/fp_hooks_test.cc.o"
+  "CMakeFiles/fp_hooks_test.dir/fp_hooks_test.cc.o.d"
+  "fp_hooks_test"
+  "fp_hooks_test.pdb"
+  "fp_hooks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_hooks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_random_formats_test.dir/fp_random_formats_test.cc.o"
+  "CMakeFiles/fp_random_formats_test.dir/fp_random_formats_test.cc.o.d"
+  "fp_random_formats_test"
+  "fp_random_formats_test.pdb"
+  "fp_random_formats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_random_formats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpu_sim_test.dir/vpu_sim_test.cc.o"
+  "CMakeFiles/vpu_sim_test.dir/vpu_sim_test.cc.o.d"
+  "vpu_sim_test"
+  "vpu_sim_test.pdb"
+  "vpu_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpu_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/fp_arith_test[1]_include.cmake")
+include("/root/repo/build/tests/fp_hooks_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/beam_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/arch_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/fp_extended_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/mitigation_test[1]_include.cmake")
+include("/root/repo/build/tests/sm_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/vpu_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/model_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/fp_random_formats_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_layers_test[1]_include.cmake")
