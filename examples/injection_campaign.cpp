@@ -7,15 +7,22 @@
  * feeds the TRE analysis.
  *
  *   $ ./injection_campaign [workload] [precision] [trials]
+ *                          [--journal DIR] [--resume] [--batch N]
+ *
+ * With --journal each campaign appends its trials to a crash-safe
+ * journal under DIR; --resume continues interrupted campaigns from
+ * those journals (see docs/campaigns.md).
  *
  * This is the level to work at when adding a new fault model or a
  * new injection site class.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "fault/campaign.hh"
+#include "fault/supervisor.hh"
 #include "metrics/metrics.hh"
 #include "nn/nn_workloads.hh"
 
@@ -45,17 +52,41 @@ main(int argc, char **argv)
 {
     using namespace mparch;
 
-    const std::string workload = argc > 1 ? argv[1] : "mxm";
+    // Positional arguments first, then optional --flags.
+    int positional = argc;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strncmp(argv[i], "--", 2)) {
+            positional = i;
+            break;
+        }
+    }
+    const std::string workload = positional > 1 ? argv[1] : "mxm";
     fp::Precision precision = fp::Precision::Single;
-    if (argc > 2) {
+    if (positional > 2) {
         if (!std::strcmp(argv[2], "double"))
             precision = fp::Precision::Double;
         else if (!std::strcmp(argv[2], "half"))
             precision = fp::Precision::Half;
     }
     fault::CampaignConfig config;
-    config.trials = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
-                             : 500;
+    config.trials = positional > 3
+                        ? std::strtoull(argv[3], nullptr, 10)
+                        : 500;
+
+    fault::SupervisorConfig supervisor;
+    supervisor.scale = 0.2;
+    supervisor.handleSignals = true;
+    for (int i = positional; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--journal") && i + 1 < argc)
+            supervisor.journalDir = argv[++i];
+        else if (!std::strcmp(argv[i], "--resume"))
+            supervisor.resume = true;
+        else if (!std::strcmp(argv[i], "--batch") && i + 1 < argc)
+            supervisor.batchSize =
+                std::strtoull(argv[++i], nullptr, 10);
+        else
+            fatal("unknown flag '", argv[i], "'");
+    }
 
     auto w = nn::makeAnyWorkload(workload, precision, 0.2);
     std::cout << "Workload " << w->name() << " at "
@@ -77,13 +108,19 @@ main(int argc, char **argv)
               << " output values.\n\n";
 
     // CAROL-FI protocol: corrupt a live variable at a random tick.
-    printCampaign("Memory campaign (CAROL-FI single bit flip)",
-                  fault::runMemoryCampaign(*w, config));
+    printCampaign(
+        "Memory campaign (CAROL-FI single bit flip)",
+        fault::runCampaign(*w, fault::CampaignKind::Memory, config,
+                           supervisor, "memory")
+            .result);
     std::cout << "\n";
 
     // Beam-like: corrupt one datapath stage of one dynamic op.
-    printCampaign("Datapath campaign (functional-unit strike)",
-                  fault::runDatapathCampaign(*w, config));
+    printCampaign(
+        "Datapath campaign (functional-unit strike)",
+        fault::runCampaign(*w, fault::CampaignKind::Datapath, config,
+                           supervisor, "datapath")
+            .result);
     std::cout << "\n";
 
     // Same, with the coarser CAROL-FI fault models.
@@ -96,8 +133,13 @@ main(int argc, char **argv)
         const std::string title =
             std::string("Memory campaign (") +
             fault::faultModelName(model) + ")";
-        printCampaign(title.c_str(),
-                      fault::runMemoryCampaign(*w, alt));
+        printCampaign(
+            title.c_str(),
+            fault::runCampaign(*w, fault::CampaignKind::Memory, alt,
+                               supervisor,
+                               std::string("memory-") +
+                                   fault::faultModelName(model))
+                .result);
         std::cout << "\n";
     }
     return 0;

@@ -7,13 +7,25 @@
  *   study    --arch fpga|xeon-phi|gpu --workload NAME
  *            [--precision double|single|half|bfloat16] [--trials N]
  *            [--scale S] [--csv FILE] [--json FILE]
+ *            [--journal DIR] [--resume] [--batch N]
  *     Run the full reliability study (FIT, MEBF, TRE, criticality).
+ *     With --journal every campaign appends its trials to a journal
+ *     under DIR; --resume continues an interrupted study from those
+ *     journals; --batch sets records per flush.
  *
  *   campaign --workload NAME --precision P
  *            [--site memory|datapath] [--model single-bit-flip|
  *            double-bit-flip|random-byte|random-value] [--trials N]
- *            [--scale S]
+ *            [--scale S] [--journal DIR] [--resume] [--batch N]
+ *            [--shards N --shard I]
  *     Run one injection campaign and print the outcome accounting.
+ *     --shards/--shard run an interleaved slice (trial i belongs to
+ *     shard i mod N); merged shard journals reproduce the unsharded
+ *     campaign exactly.
+ *
+ *   replay-trial --journal FILE --trial N
+ *     Re-execute one journaled trial standalone and dump its fault
+ *     anatomy, outcome and agreement with the journal record.
  *
  *   beamplan --fit-per-hour R [--errors N] [--flux F]
  *     Size a (virtual) beam campaign the way the paper sizes real
@@ -32,22 +44,31 @@
 #include "common/table.hh"
 #include "core/study.hh"
 #include "fault/campaign.hh"
+#include "fault/journal.hh"
+#include "fault/supervisor.hh"
 #include "nn/nn_workloads.hh"
 
 namespace {
 
 using namespace mparch;
 
-/** Minimal --flag value parser. */
+/** Minimal --flag [value] parser; a flag followed by another flag
+ *  (or nothing) is a boolean switch, e.g. --resume. */
 class Args
 {
   public:
     Args(int argc, char **argv, int first)
     {
-        for (int i = first; i + 1 < argc; i += 2) {
+        for (int i = first; i < argc; ++i) {
             if (argv[i][0] != '-' || argv[i][1] != '-')
                 fatal("expected --flag, got '", argv[i], "'");
-            values_[argv[i] + 2] = argv[i + 1];
+            const std::string key = argv[i] + 2;
+            if (i + 1 < argc &&
+                std::strncmp(argv[i + 1], "--", 2) != 0) {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "1";
+            }
         }
     }
 
@@ -64,6 +85,12 @@ class Args
         const auto it = values_.find(key);
         return it == values_.end() ? fallback
                                    : std::atof(it->second.c_str());
+    }
+
+    bool
+    getFlag(const std::string &key) const
+    {
+        return values_.count(key) != 0;
     }
 
   private:
@@ -121,6 +148,10 @@ cmdStudy(const Args &args)
     const std::string precision = args.get("precision", "");
     if (!precision.empty())
         config.precisions = {parsePrecision(precision)};
+    config.journalDir = args.get("journal", "");
+    config.resume = args.getFlag("resume");
+    config.batchSize =
+        static_cast<std::uint64_t>(args.getNum("batch", 256));
 
     const core::StudyResult result = core::runStudy(config);
     result.printReport(std::cout);
@@ -176,14 +207,32 @@ cmdCampaign(const Args &args)
     config.recordAnatomy = true;
 
     const std::string site = args.get("site", "memory");
-    fault::CampaignResult r;
+    fault::CampaignKind kind;
     if (site == "memory") {
-        r = fault::runMemoryCampaign(*w, config);
+        kind = fault::CampaignKind::Memory;
     } else if (site == "datapath") {
-        r = fault::runDatapathCampaign(*w, config);
+        kind = fault::CampaignKind::Datapath;
     } else {
         fatal("unknown site '", site, "' (memory | datapath)");
     }
+
+    fault::SupervisorConfig supervisor;
+    supervisor.journalDir = args.get("journal", "");
+    supervisor.resume = args.getFlag("resume");
+    supervisor.batchSize =
+        static_cast<std::uint64_t>(args.getNum("batch", 256));
+    supervisor.shardCount =
+        static_cast<std::uint64_t>(args.getNum("shards", 1));
+    supervisor.shardIndex =
+        static_cast<std::uint64_t>(args.getNum("shard", 0));
+    supervisor.scale = args.getNum("scale", 0.2);
+    supervisor.handleSignals = true;
+
+    const fault::SupervisedCampaign run =
+        fault::runCampaign(*w, kind, config, supervisor, site);
+    if (!run.error.empty())
+        fatal(run.error);
+    const fault::CampaignResult &r = run.result;
 
     Table table({"metric", "value"});
     table.setTitle(workload + " / " +
@@ -205,8 +254,85 @@ cmdCampaign(const Args &args)
         r.survivingFraction(1e-3), 4);
     table.row().cell("remaining @ TRE 1%").cell(
         r.survivingFraction(1e-2), 4);
+    table.row().cell("coverage").cell(run.coverage(), 4);
+    table.row().cell("poisoned").cell(
+        static_cast<std::int64_t>(run.poisoned));
+    if (run.resumed)
+        table.row().cell("resumed trials").cell(
+            static_cast<std::int64_t>(run.resumed));
     table.print(std::cout);
-    return 0;
+    if (!run.journalPath.empty())
+        std::cout << "journal: " << run.journalPath << "\n";
+    return run.interrupted ? 1 : 0;
+}
+
+int
+cmdReplayTrial(const Args &args)
+{
+    const std::string path = args.get("journal", "");
+    if (path.empty())
+        fatal("replay-trial needs --journal FILE");
+    const auto index =
+        static_cast<std::uint64_t>(args.getNum("trial", 0));
+
+    std::string why;
+    const auto journal = fault::readJournal(path, &why);
+    if (!journal)
+        fatal("cannot read '", path, "': ", why);
+
+    auto w = nn::makeAnyWorkload(journal->header.workload,
+                                 journal->header.precision,
+                                 journal->header.scale);
+    const fault::ReplayResult replay =
+        fault::replayTrial(*w, *journal, index);
+    if (!replay.error.empty())
+        fatal(replay.error);
+
+    const auto fieldName = [](fault::FaultAnatomy::Field field) {
+        using Field = fault::FaultAnatomy::Field;
+        switch (field) {
+          case Field::Sign:         return "sign";
+          case Field::Exponent:     return "exponent";
+          case Field::MantissaHigh: return "mantissa-high";
+          case Field::MantissaLow:  return "mantissa-low";
+        }
+        return "?";
+    };
+
+    Table table({"metric", "value"});
+    table.setTitle("replay of trial " + std::to_string(index) +
+                   " from " + path);
+    table.row().cell("workload").cell(journal->header.workload);
+    table.row().cell("precision").cell(std::string(
+        fp::precisionName(journal->header.precision)));
+    table.row().cell("campaign kind").cell(
+        fault::campaignKindName(journal->header.kind));
+    table.row().cell("fault").cell(replay.trial.description);
+    table.row().cell("outcome").cell(
+        fault::outcomeKindName(replay.trial.outcome));
+    if (replay.trial.outcome == fault::OutcomeKind::Sdc) {
+        table.row().cell("max relative deviation").cell(
+            replay.trial.sdc.maxRel, 6);
+        table.row().cell("corrupted fraction").cell(
+            replay.trial.sdc.corruptedFraction, 6);
+    }
+    if (replay.trial.hasAnatomy) {
+        table.row().cell("flipped bit").cell(
+            static_cast<std::int64_t>(replay.trial.anatomy.bit));
+        table.row().cell("bit field").cell(
+            fieldName(replay.trial.anatomy.field));
+    }
+    if (replay.hasJournaled) {
+        table.row().cell("journaled outcome").cell(
+            fault::outcomeKindName(replay.journaled.outcome));
+        table.row().cell("replay consistent").cell(
+            replay.consistent ? "yes" : "NO");
+    } else {
+        table.row().cell("journaled outcome").cell(
+            "(not in journal — trial never completed)");
+    }
+    table.print(std::cout);
+    return replay.consistent ? 0 : 1;
 }
 
 int
@@ -238,7 +364,8 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cerr << "usage: mparch_cli <study|campaign|beamplan> "
+        std::cerr << "usage: mparch_cli "
+                     "<study|campaign|replay-trial|beamplan> "
                      "[--flag value ...]\n"
                      "see the file header for the full flag list\n";
         return 1;
@@ -249,6 +376,8 @@ main(int argc, char **argv)
         return cmdStudy(args);
     if (cmd == "campaign")
         return cmdCampaign(args);
+    if (cmd == "replay-trial")
+        return cmdReplayTrial(args);
     if (cmd == "beamplan")
         return cmdBeamPlan(args);
     fatal("unknown subcommand '", cmd, "'");

@@ -78,14 +78,23 @@ evaluateFpga(Workload &w, const FpgaOptions &options)
     fault::CampaignConfig config_campaign;
     config_campaign.trials = options.configTrials;
     config_campaign.seed = options.seed;
-    eval.configCampaign = fault::runPersistentCampaign(
-        w, config_campaign, eval.circuit.engines);
+    const auto config_run = fault::runCampaign(
+        w, fault::CampaignKind::Persistent, config_campaign,
+        options.supervisor, "config", fp::OpKind::NumKinds,
+        eval.circuit.engines);
+    eval.configCampaign = config_run.result;
 
     // BRAM content campaign: transient single-bit data flips.
     fault::CampaignConfig bram_campaign;
     bram_campaign.trials = options.bramTrials;
     bram_campaign.seed = options.seed + 1;
-    eval.bramCampaign = fault::runMemoryCampaign(w, bram_campaign);
+    const auto bram_run =
+        fault::runCampaign(w, fault::CampaignKind::Memory,
+                           bram_campaign, options.supervisor, "bram");
+    eval.bramCampaign = bram_run.result;
+    eval.coverage =
+        std::min(config_run.coverage(), bram_run.coverage());
+    eval.poisoned = config_run.poisoned + bram_run.poisoned;
 
     // Exposure inventory. Only config bits over *logic actually
     // toggling* matter for the persistent mechanism; BRAM content is

@@ -21,6 +21,7 @@
 #include "arch/fpga/opcost.hh"
 #include "beam/inventory.hh"
 #include "fault/campaign.hh"
+#include "fault/supervisor.hh"
 #include "workloads/workload.hh"
 
 namespace mparch::fpga {
@@ -68,6 +69,12 @@ struct FpgaEvaluation
     double fitDue = 0.0;        ///< a.u. (expected 0)
     double timeSeconds = 0.0;   ///< modelled execution time
     double mebf = 0.0;          ///< a.u.
+
+    /** Minimum completed fraction over the campaigns. */
+    double coverage = 1.0;
+
+    /** Trials abandoned by the supervisor across the campaigns. */
+    std::uint64_t poisoned = 0;
 };
 
 /** Evaluation knobs. */
@@ -76,6 +83,9 @@ struct FpgaOptions
     std::uint64_t configTrials = 600;
     std::uint64_t bramTrials = 400;
     std::uint64_t seed = 11;
+
+    /** Crash-safety knobs (journal dir, resume, batching). */
+    fault::SupervisorConfig supervisor;
 };
 
 /** Run the synthesis, campaigns and FIT/MEBF assembly. */

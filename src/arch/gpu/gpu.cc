@@ -1,5 +1,6 @@
 #include "arch/gpu/gpu.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -105,14 +106,22 @@ evaluateGpu(Workload &w, const GpuOptions &options)
     fault::CampaignConfig dp;
     dp.trials = options.datapathTrials;
     dp.seed = options.seed;
-    eval.datapathCampaign = fault::runDatapathCampaign(w, dp);
+    const auto dp_run =
+        fault::runCampaign(w, fault::CampaignKind::Datapath, dp,
+                           options.supervisor, "datapath");
+    eval.datapathCampaign = dp_run.result;
 
     // Data residing in caches / registers awaiting use; the Titan V
     // has no ECC (the paper triplicates only the HBM2 contents).
     fault::CampaignConfig mem;
     mem.trials = options.memoryTrials;
     mem.seed = options.seed + 1;
-    eval.memoryCampaign = fault::runMemoryCampaign(w, mem);
+    const auto mem_run =
+        fault::runCampaign(w, fault::CampaignKind::Memory, mem,
+                           options.supervisor, "memory");
+    eval.memoryCampaign = mem_run.result;
+    eval.coverage = std::min(dp_run.coverage(), mem_run.coverage());
+    eval.poisoned = dp_run.poisoned + mem_run.poisoned;
 
     // --- Exposure inventory ---------------------------------------
     const double fu_bits =

@@ -19,6 +19,7 @@
 #include "arch/gpu/regfile.hh"
 #include "beam/inventory.hh"
 #include "fault/campaign.hh"
+#include "fault/supervisor.hh"
 #include "workloads/workload.hh"
 
 namespace mparch::gpu {
@@ -38,6 +39,13 @@ struct GpuEvaluation
     double fitDue = 0.0;       ///< a.u.
     double timeSeconds = 0.0;  ///< Table 3 model
     double mebf = 0.0;         ///< a.u. (Figure 13)
+
+    /** Minimum completed fraction over the campaigns (1.0 unless a
+     *  supervised run was interrupted or poisoned trials). */
+    double coverage = 1.0;
+
+    /** Trials abandoned by the supervisor across the campaigns. */
+    std::uint64_t poisoned = 0;
 };
 
 /** Evaluation knobs. */
@@ -46,6 +54,9 @@ struct GpuOptions
     std::uint64_t datapathTrials = 500;
     std::uint64_t memoryTrials = 400;
     std::uint64_t seed = 31;
+
+    /** Crash-safety knobs (journal dir, resume, batching). */
+    fault::SupervisorConfig supervisor;
 };
 
 /** Execution-time model only (Table 3). */

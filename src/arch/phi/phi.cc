@@ -1,5 +1,6 @@
 #include "arch/phi/phi.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "arch/phi/params.hh"
@@ -54,7 +55,10 @@ evaluatePhi(Workload &w, const PhiOptions &options)
     fault::CampaignConfig pvf;
     pvf.trials = options.pvfTrials;
     pvf.seed = options.seed;
-    eval.pvfCampaign = fault::runMemoryCampaign(w, pvf);
+    const auto pvf_run =
+        fault::runCampaign(w, fault::CampaignKind::Memory, pvf,
+                           options.supervisor, "pvf");
+    eval.pvfCampaign = pvf_run.result;
 
     // Functional-unit strikes: what the beam actually hits in the
     // unprotected datapath; its corpus also drives the TRE analysis
@@ -62,7 +66,12 @@ evaluatePhi(Workload &w, const PhiOptions &options)
     fault::CampaignConfig dp;
     dp.trials = options.datapathTrials;
     dp.seed = options.seed + 1;
-    eval.datapathCampaign = fault::runDatapathCampaign(w, dp);
+    const auto dp_run =
+        fault::runCampaign(w, fault::CampaignKind::Datapath, dp,
+                           options.supervisor, "datapath");
+    eval.datapathCampaign = dp_run.result;
+    eval.coverage = std::min(pvf_run.coverage(), dp_run.coverage());
+    eval.poisoned = pvf_run.poisoned + dp_run.poisoned;
 
     // Exposure inventory. ECC-protected structures (register file,
     // caches) are absent: MCA corrects them (Section 3.1).

@@ -18,6 +18,7 @@
 #include "arch/phi/compiler_model.hh"
 #include "beam/inventory.hh"
 #include "fault/campaign.hh"
+#include "fault/supervisor.hh"
 #include "workloads/workload.hh"
 
 namespace mparch::phi {
@@ -39,6 +40,12 @@ struct PhiEvaluation
     double fitDue = 0.0;       ///< a.u. (Figure 6)
     double timeSeconds = 0.0;  ///< Table 2 model
     double mebf = 0.0;         ///< a.u. (Figure 9)
+
+    /** Minimum completed fraction over the campaigns. */
+    double coverage = 1.0;
+
+    /** Trials abandoned by the supervisor across the campaigns. */
+    std::uint64_t poisoned = 0;
 };
 
 /** Evaluation knobs. */
@@ -47,6 +54,9 @@ struct PhiOptions
     std::uint64_t pvfTrials = 500;
     std::uint64_t datapathTrials = 500;
     std::uint64_t seed = 23;
+
+    /** Crash-safety knobs (journal dir, resume, batching). */
+    fault::SupervisorConfig supervisor;
 };
 
 /** Execution-time model only (Table 2). */

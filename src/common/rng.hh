@@ -172,6 +172,21 @@ class Rng
         return Rng(next() ^ 0xa0761d6478bd642fULL);
     }
 
+    /**
+     * Stateless 64-bit mix of two words (two rounds of the splitmix64
+     * finaliser over a xor-folded combination). Used to derive
+     * counter-based streams: the result depends on both inputs with
+     * full avalanche, so adjacent counters yield independent seeds.
+     */
+    static std::uint64_t
+    mix(std::uint64_t a, std::uint64_t b)
+    {
+        std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL +
+                               (a << 6) + (a >> 2));
+        (void)splitmix64(x);
+        return splitmix64(x);
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)
@@ -193,6 +208,22 @@ class Rng
     bool hasSpare_ = false;
     double spare_ = 0.0;
 };
+
+/**
+ * Counter-based trial generator: the stream for trial @p index of a
+ * campaign seeded with @p seed.
+ *
+ * Campaigns derive every per-trial draw from this instead of a shared
+ * sequential stream, so (a) any single trial is replayable standalone
+ * from (seed, index) alone, and (b) partitioning the index range
+ * across shards cannot change any trial's sample — sharded and
+ * unsharded campaigns agree bit-for-bit.
+ */
+inline Rng
+trialRng(std::uint64_t seed, std::uint64_t index)
+{
+    return Rng(Rng::mix(seed, index));
+}
 
 } // namespace mparch
 

@@ -6,6 +6,7 @@
 #include "arch/gpu/gpu.hh"
 #include "arch/phi/phi.hh"
 #include "common/table.hh"
+#include "fault/supervisor.hh"
 #include "nn/nn_workloads.hh"
 
 namespace mparch::core {
@@ -41,6 +42,24 @@ StudyResult::find(fp::Precision p) const
 
 namespace {
 
+/** Crash-safety knobs forwarded into every campaign. Journals land
+ *  under <journalDir>/<arch> so studies of different devices never
+ *  collide on campaign tags. */
+fault::SupervisorConfig
+makeSupervisor(const StudyConfig &config)
+{
+    fault::SupervisorConfig supervisor;
+    if (!config.journalDir.empty())
+        supervisor.journalDir =
+            config.journalDir + "/" + architectureName(config.arch);
+    supervisor.resume = config.resume;
+    supervisor.batchSize = config.batchSize;
+    supervisor.scale = config.scale;
+    // Ctrl-C on a journaled study flushes and prints a resume hint.
+    supervisor.handleSignals = !supervisor.journalDir.empty();
+    return supervisor;
+}
+
 PrecisionResult
 evaluateOne(const StudyConfig &config, fp::Precision p)
 {
@@ -54,6 +73,7 @@ evaluateOne(const StudyConfig &config, fp::Precision p)
         options.configTrials = config.trials;
         options.bramTrials = config.trials / 2 + 1;
         options.seed = config.seed;
+        options.supervisor = makeSupervisor(config);
         const auto eval = fpga::evaluateFpga(*w, options);
         row.fitSdc = eval.fitSdc;
         row.fitDue = eval.fitDue;
@@ -66,6 +86,8 @@ evaluateOne(const StudyConfig &config, fp::Precision p)
         row.luts = eval.circuit.luts;
         row.dsps = eval.circuit.dsps;
         row.brams = eval.circuit.brams;
+        row.coverage = eval.coverage;
+        row.poisoned = eval.poisoned;
         break;
       }
       case Architecture::XeonPhi: {
@@ -73,6 +95,7 @@ evaluateOne(const StudyConfig &config, fp::Precision p)
         options.pvfTrials = config.trials;
         options.datapathTrials = config.trials;
         options.seed = config.seed;
+        options.supervisor = makeSupervisor(config);
         const auto eval = phi::evaluatePhi(*w, options);
         row.fitSdc = eval.fitSdc;
         row.fitDue = eval.fitDue;
@@ -84,6 +107,8 @@ evaluateOne(const StudyConfig &config, fp::Precision p)
         row.severity =
             metrics::criticalitySplit(eval.datapathCampaign);
         row.vectorRegisters = eval.compiled.vectorRegisters;
+        row.coverage = eval.coverage;
+        row.poisoned = eval.poisoned;
         break;
       }
       case Architecture::Gpu: {
@@ -91,6 +116,7 @@ evaluateOne(const StudyConfig &config, fp::Precision p)
         options.datapathTrials = config.trials;
         options.memoryTrials = config.trials / 2 + 1;
         options.seed = config.seed;
+        options.supervisor = makeSupervisor(config);
         const auto eval = gpu::evaluateGpu(*w, options);
         row.fitSdc = eval.fitSdc;
         row.fitDue = eval.fitDue;
@@ -101,6 +127,8 @@ evaluateOne(const StudyConfig &config, fp::Precision p)
         row.tre = metrics::treCurve(eval.datapathCampaign);
         row.severity =
             metrics::criticalitySplit(eval.datapathCampaign);
+        row.coverage = eval.coverage;
+        row.poisoned = eval.poisoned;
         break;
       }
     }
@@ -127,7 +155,7 @@ StudyResult::printReport(std::ostream &os) const
 {
     Table table({"precision", "fit-sdc(a.u.)", "fit-due(a.u.)",
                  "time(s)", "mebf(a.u.)", "avf-dp", "pvf",
-                 "crit-frac"});
+                 "crit-frac", "coverage"});
     table.setTitle(std::string(architectureName(config.arch)) + " / " +
                    config.workload);
     for (const auto &row : rows) {
@@ -141,7 +169,8 @@ StudyResult::printReport(std::ostream &os) const
             .cell(row.pvf, 3)
             .cell(row.severity.criticalChange +
                       row.severity.detectionChange,
-                  3);
+                  3)
+            .cell(row.coverage, 3);
     }
     table.print(os);
 
@@ -198,6 +227,8 @@ StudyResult::writeJson(std::ostream &os) const
            << "      \"avf_datapath\": " << row.avfDatapath
            << ",\n"
            << "      \"pvf\": " << row.pvf << ",\n"
+           << "      \"coverage\": " << row.coverage << ",\n"
+           << "      \"poisoned\": " << row.poisoned << ",\n"
            << "      \"severity\": {\"tolerable\": "
            << row.severity.tolerable << ", \"detection_change\": "
            << row.severity.detectionChange

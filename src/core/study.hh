@@ -59,6 +59,20 @@ struct StudyConfig
 
     /** Campaign seed. */
     std::uint64_t seed = 7;
+
+    /** Directory for per-campaign trial journals; empty disables
+     *  journaling. Each campaign writes one append-only journal
+     *  (see docs/campaigns.md) so an interrupted study can resume. */
+    std::string journalDir;
+
+    /** Resume from existing journals in journalDir: completed trials
+     *  are loaded instead of re-run. Refuses (and reports a partial
+     *  campaign) if a journal disagrees with this configuration. */
+    bool resume = false;
+
+    /** Trial records buffered between journal flushes; a killed
+     *  process loses at most one batch. */
+    std::uint64_t batchSize = 256;
 };
 
 /** Everything measured for one precision. */
@@ -87,6 +101,13 @@ struct PrecisionResult
 
     /** Phi extra: instantiated vector registers (zero elsewhere). */
     int vectorRegisters = 0;
+
+    /** Completed fraction of the planned trials (minimum over the
+     *  precision's campaigns); < 1 when a campaign degraded. */
+    double coverage = 1.0;
+
+    /** Trials the supervisor abandoned after repeated failures. */
+    std::uint64_t poisoned = 0;
 };
 
 /** A full study: one architecture x workload, several precisions. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "fault/hooks.hh"
 
@@ -11,6 +12,18 @@ namespace mparch::fault {
 using workloads::BufferView;
 using workloads::ExecutionEnv;
 using workloads::Workload;
+
+const char *
+outcomeKindName(OutcomeKind outcome)
+{
+    switch (outcome) {
+      case OutcomeKind::Masked:   return "masked";
+      case OutcomeKind::Sdc:      return "sdc";
+      case OutcomeKind::Due:      return "due";
+      case OutcomeKind::Detected: return "detected";
+    }
+    return "?";
+}
 
 FaultAnatomy::Field
 bitField(fp::Format f, int bit)
@@ -22,6 +35,17 @@ bitField(fp::Format f, int bit)
     if (bit >= static_cast<int>(f.manBits) / 2)
         return FaultAnatomy::Field::MantissaHigh;
     return FaultAnatomy::Field::MantissaLow;
+}
+
+void
+CampaignConfig::validate() const
+{
+    if (!(timeoutFactor > 0.0)) {
+        fatal("CampaignConfig::timeoutFactor must be > 0 (got ",
+              timeoutFactor,
+              "); a non-positive tick budget classifies every trial "
+              "as a DUE");
+    }
 }
 
 double
@@ -75,6 +99,31 @@ CampaignResult::merge(const CampaignResult &other)
     detected += other.detected;
     corpus.insert(corpus.end(), other.corpus.begin(),
                   other.corpus.end());
+    anatomy.insert(anatomy.end(), other.anatomy.begin(),
+                   other.anatomy.end());
+}
+
+void
+accumulate(CampaignResult &result, const TrialOutcome &trial)
+{
+    ++result.trials;
+    switch (trial.outcome) {
+      case OutcomeKind::Masked:
+        ++result.masked;
+        break;
+      case OutcomeKind::Sdc:
+        ++result.sdc;
+        result.corpus.push_back(trial.sdc);
+        break;
+      case OutcomeKind::Due:
+        ++result.due;
+        break;
+      case OutcomeKind::Detected:
+        ++result.detected;
+        break;
+    }
+    if (trial.hasAnatomy)
+        result.anatomy.push_back(trial.anatomy);
 }
 
 GoldenRun::GoldenRun(Workload &w, std::uint64_t input_seed)
@@ -92,9 +141,6 @@ GoldenRun::GoldenRun(Workload &w, std::uint64_t input_seed)
         outputBits[i] = out.get(i);
 }
 
-namespace {
-
-/** Relative deviation of a corrupted element from its golden value. */
 double
 relativeDeviation(fp::Format f, std::uint64_t corrupted,
                   std::uint64_t golden)
@@ -103,27 +149,31 @@ relativeDeviation(fp::Format f, std::uint64_t corrupted,
     const double c = fp::fpToDouble(f, corrupted);
     if (!std::isfinite(c) || !std::isfinite(g))
         return std::numeric_limits<double>::infinity();
-    if (g == 0.0)
-        return c == 0.0 ? 0.0
-                        : std::numeric_limits<double>::infinity();
+    if (g == 0.0) {
+        // A relative measure would report infinity for any non-zero
+        // corruption of a benign zero output; record the absolute
+        // deviation instead so TRE curves stay meaningful.
+        return std::abs(c);
+    }
     return std::abs((c - g) / g);
 }
 
-/** Compare the workload's output with golden and record the outcome. */
-void
-classify(Workload &w, const GoldenRun &golden, bool hung,
-         CampaignResult &result)
+namespace {
+
+/** Compare the workload's output with golden and classify. */
+TrialOutcome
+classify(Workload &w, const GoldenRun &golden, bool hung)
 {
-    ++result.trials;
+    TrialOutcome trial;
     if (hung) {
-        ++result.due;
-        return;
+        trial.outcome = OutcomeKind::Due;
+        return trial;
     }
     if (w.detectedError()) {
         // The workload's own checker caught the corruption before
         // the output was consumed: recoverable by re-execution.
-        ++result.detected;
-        return;
+        trial.outcome = OutcomeKind::Detected;
+        return trial;
     }
     const BufferView out = w.output();
     MPARCH_ASSERT(out.count == golden.outputBits.size(),
@@ -140,16 +190,15 @@ classify(Workload &w, const GoldenRun &golden, bool hung,
             max_rel, relativeDeviation(f, bits, golden.outputBits[i]));
     }
     if (diffs == 0) {
-        ++result.masked;
-        return;
+        trial.outcome = OutcomeKind::Masked;
+        return trial;
     }
-    ++result.sdc;
-    SdcRecord rec;
-    rec.maxRel = max_rel;
-    rec.corruptedFraction =
+    trial.outcome = OutcomeKind::Sdc;
+    trial.sdc.maxRel = max_rel;
+    trial.sdc.corruptedFraction =
         static_cast<double>(diffs) / static_cast<double>(out.count);
-    rec.severity = w.classifySdc(golden.outputBits);
-    result.corpus.push_back(rec);
+    trial.sdc.severity = w.classifySdc(golden.outputBits);
+    return trial;
 }
 
 /** Run one armed execution under the watchdog. */
@@ -172,22 +221,26 @@ executeArmed(Workload &w, const GoldenRun &golden,
     return env.aborted();
 }
 
-} // namespace
-
-CampaignResult
-runMemoryCampaign(Workload &w, const CampaignConfig &config)
+/** CAROL-FI memory campaign, one trial at a time. */
+class MemoryTrialRunner : public TrialRunner
 {
-    const GoldenRun golden(w, config.inputSeed);
-    MPARCH_ASSERT(golden.ticks > 0, "workload must tick at least once");
+  public:
+    MemoryTrialRunner(Workload &w, const CampaignConfig &config)
+        : TrialRunner(w, config)
+    {
+        MPARCH_ASSERT(golden_.ticks > 0,
+                      "workload must tick at least once");
+    }
 
-    Rng rng(config.seed);
-    CampaignResult result;
-    for (std::uint64_t t = 0; t < config.trials; ++t) {
-        w.reset(config.inputSeed);
+    TrialOutcome
+    runTrial(std::uint64_t index, bool describe) override
+    {
+        Rng rng = trialRng(config_.seed, index);
+        workload_.reset(config_.inputSeed);
 
         // Pick the target: buffer weighted by bit population, then a
         // uniform element, then the fault model's bit pattern.
-        std::vector<BufferView> views = w.buffers();
+        std::vector<BufferView> views = workload_.buffers();
         std::uint64_t total_bits = 0;
         for (const auto &view : views)
             total_bits += view.bits();
@@ -200,15 +253,16 @@ runMemoryCampaign(Workload &w, const CampaignConfig &config)
         }
         const BufferView &target = views[which];
         const std::size_t element = rng.below(target.count);
-        const unsigned width = fp::formatOf(target.precision).totalBits;
-        const std::uint64_t inject_tick = rng.below(golden.ticks);
+        const unsigned width =
+            fp::formatOf(target.precision).totalBits;
+        const std::uint64_t inject_tick = rng.below(golden_.ticks);
         Rng payload_rng = rng.fork();
 
         int flipped_bit = -1;
         const auto on_tick = [&](std::uint64_t tick) {
             if (tick != inject_tick)
                 return;
-            if (config.model == FaultModel::WordBurst) {
+            if (config_.model == FaultModel::WordBurst) {
                 // A multi-bit upset along a physical row: the same
                 // bit position flips in up to 4 adjacent words
                 // (JESD89A-style MBU, paper reference [8]).
@@ -225,78 +279,81 @@ runMemoryCampaign(Workload &w, const CampaignConfig &config)
             }
             const std::uint64_t before = target.get(element);
             const std::uint64_t after = applyFault(
-                config.model, payload_rng, width, before);
-            if (config.model == FaultModel::SingleBitFlip)
+                config_.model, payload_rng, width, before);
+            if (config_.model == FaultModel::SingleBitFlip)
                 flipped_bit = highestSetBit(before ^ after);
             target.set(element, after);
         };
-        const bool hung =
-            executeArmed(w, golden, config, nullptr, on_tick);
-        const std::uint64_t sdc_before = result.sdc;
-        const std::uint64_t due_before = result.due;
-        const std::uint64_t det_before = result.detected;
-        classify(w, golden, hung, result);
-        if (config.recordAnatomy && flipped_bit >= 0) {
-            FaultAnatomy a;
-            a.bit = flipped_bit;
-            a.field = bitField(fp::formatOf(target.precision),
-                               flipped_bit);
-            if (result.due != due_before)
-                a.outcome = OutcomeKind::Due;
-            else if (result.detected != det_before)
-                a.outcome = OutcomeKind::Detected;
-            else if (result.sdc != sdc_before) {
-                a.outcome = OutcomeKind::Sdc;
-                a.maxRel = result.corpus.back().maxRel;
-            } else {
-                a.outcome = OutcomeKind::Masked;
-            }
-            result.anatomy.push_back(a);
+        const bool hung = executeArmed(workload_, golden_, config_,
+                                       nullptr, on_tick);
+        TrialOutcome trial = classify(workload_, golden_, hung);
+        if (config_.recordAnatomy && flipped_bit >= 0) {
+            trial.hasAnatomy = true;
+            trial.anatomy.bit = flipped_bit;
+            trial.anatomy.field = bitField(
+                fp::formatOf(target.precision), flipped_bit);
+            trial.anatomy.outcome = trial.outcome;
+            if (trial.outcome == OutcomeKind::Sdc)
+                trial.anatomy.maxRel = trial.sdc.maxRel;
         }
+        if (describe) {
+            std::ostringstream os;
+            os << "site=memory model="
+               << faultModelName(config_.model) << " buffer="
+               << target.name << " element=" << element
+               << " tick=" << inject_tick << " bit=" << flipped_bit;
+            trial.description = os.str();
+        }
+        return trial;
     }
-    return result;
-}
+};
 
-CampaignResult
-runDatapathCampaign(Workload &w, const CampaignConfig &config,
-                    fp::OpKind kind_filter)
+/** Transient functional-unit campaign, one trial at a time. */
+class DatapathTrialRunner : public TrialRunner
 {
-    const GoldenRun golden(w, config.inputSeed);
-    const fp::Format f = fp::formatOf(w.precision());
-
-    // Candidate kinds and their dynamic op counts (Exp is excluded:
-    // its constituent mul/fma operations are the real targets).
-    std::vector<std::pair<fp::OpKind, std::uint64_t>> kinds;
-    std::uint64_t total_ops = 0;
-    for (std::size_t k = 0;
-         k < static_cast<std::size_t>(fp::OpKind::NumKinds); ++k) {
-        const auto kind = static_cast<fp::OpKind>(k);
-        if (kind == fp::OpKind::Exp)
-            continue;
-        if (kind_filter != fp::OpKind::NumKinds && kind != kind_filter)
-            continue;
-        const std::uint64_t n = golden.ops.count(kind);
-        if (n == 0)
-            continue;
-        kinds.emplace_back(kind, n);
-        total_ops += n;
+  public:
+    DatapathTrialRunner(Workload &w, const CampaignConfig &config,
+                        fp::OpKind kind_filter)
+        : TrialRunner(w, config)
+    {
+        // Candidate kinds and their dynamic op counts (Exp is
+        // excluded: its constituent mul/fma ops are the targets).
+        for (std::size_t k = 0;
+             k < static_cast<std::size_t>(fp::OpKind::NumKinds);
+             ++k) {
+            const auto kind = static_cast<fp::OpKind>(k);
+            if (kind == fp::OpKind::Exp)
+                continue;
+            if (kind_filter != fp::OpKind::NumKinds &&
+                kind != kind_filter) {
+                continue;
+            }
+            const std::uint64_t n = golden_.ops.count(kind);
+            if (n == 0)
+                continue;
+            kinds_.emplace_back(kind, n);
+            totalOps_ += n;
+        }
+        MPARCH_ASSERT(totalOps_ > 0, "no operations to strike");
     }
-    MPARCH_ASSERT(total_ops > 0, "no operations to strike");
 
-    Rng rng(config.seed);
-    CampaignResult result;
-    for (std::uint64_t t = 0; t < config.trials; ++t) {
-        w.reset(config.inputSeed);
+    TrialOutcome
+    runTrial(std::uint64_t index, bool describe) override
+    {
+        Rng rng = trialRng(config_.seed, index);
+        workload_.reset(config_.inputSeed);
+        const fp::Format f = fp::formatOf(workload_.precision());
 
         // Uniform over dynamic operations...
-        std::uint64_t pick = rng.below(total_ops);
+        std::uint64_t pick = rng.below(totalOps_);
         std::size_t which = 0;
-        while (pick >= kinds[which].second) {
-            pick -= kinds[which].second;
+        while (pick >= kinds_[which].second) {
+            pick -= kinds_[which].second;
             ++which;
         }
-        const fp::OpKind kind = kinds[which].first;
-        const std::uint64_t index = rng.below(kinds[which].second);
+        const fp::OpKind kind = kinds_[which].first;
+        const std::uint64_t op_index =
+            rng.below(kinds_[which].second);
 
         // ...then a stage weighted by its bit population (optionally
         // restricted to the operand-read stages).
@@ -309,56 +366,71 @@ runDatapathCampaign(Workload &w, const CampaignConfig &config,
         };
         std::uint64_t weight_sum = 0;
         for (std::size_t s = 0; s < stage_count; ++s) {
-            if (config.operandStagesOnly && !is_operand(stages[s]))
+            if (config_.operandStagesOnly && !is_operand(stages[s]))
                 continue;
             weight_sum += stageWidthEstimate(stages[s], f);
         }
         std::uint64_t spick = rng.below(weight_sum);
         std::size_t si = 0;
         for (;; ++si) {
-            if (config.operandStagesOnly && !is_operand(stages[si]))
+            if (config_.operandStagesOnly && !is_operand(stages[si]))
                 continue;
-            const std::uint64_t w = stageWidthEstimate(stages[si], f);
-            if (spick < w)
+            const std::uint64_t sw = stageWidthEstimate(stages[si], f);
+            if (spick < sw)
                 break;
-            spick -= w;
+            spick -= sw;
         }
-        OneShotDatapathHook hook(kind, index, stages[si],
-                                 rng.uniform());
+        const double bit_frac = rng.uniform();
+        OneShotDatapathHook hook(kind, op_index, stages[si], bit_frac);
 
-        const bool hung =
-            executeArmed(w, golden, config, &hook, nullptr);
-        classify(w, golden, hung, result);
+        const bool hung = executeArmed(workload_, golden_, config_,
+                                       &hook, nullptr);
+        TrialOutcome trial = classify(workload_, golden_, hung);
+        if (describe) {
+            std::ostringstream os;
+            os << "site=datapath kind=" << fp::opKindName(kind)
+               << " dynamic-index=" << op_index << " stage="
+               << fp::stageName(stages[si])
+               << " bit-frac=" << bit_frac;
+            trial.description = os.str();
+        }
+        return trial;
     }
-    return result;
-}
 
-CampaignResult
-runPersistentCampaign(Workload &w, const CampaignConfig &config,
-                      const std::vector<EngineAllocation> &engines)
+  private:
+    std::vector<std::pair<fp::OpKind, std::uint64_t>> kinds_;
+    std::uint64_t totalOps_ = 0;
+};
+
+/** Persistent (configuration-upset) campaign, one trial at a time. */
+class PersistentTrialRunner : public TrialRunner
 {
-    const GoldenRun golden(w, config.inputSeed);
-    const fp::Format f = fp::formatOf(w.precision());
+  public:
+    PersistentTrialRunner(Workload &w, const CampaignConfig &config,
+                          std::vector<EngineAllocation> engines)
+        : TrialRunner(w, config), engines_(std::move(engines))
+    {
+        for (const auto &alloc : engines_)
+            totalUnits_ += alloc.units;
+        MPARCH_ASSERT(totalUnits_ > 0, "circuit has no physical units");
+    }
 
-    std::uint64_t total_units = 0;
-    for (const auto &alloc : engines)
-        total_units += alloc.units;
-    MPARCH_ASSERT(total_units > 0, "circuit has no physical units");
-
-    Rng rng(config.seed);
-    CampaignResult result;
-    for (std::uint64_t t = 0; t < config.trials; ++t) {
-        w.reset(config.inputSeed);
+    TrialOutcome
+    runTrial(std::uint64_t index, bool describe) override
+    {
+        Rng rng = trialRng(config_.seed, index);
+        workload_.reset(config_.inputSeed);
+        const fp::Format f = fp::formatOf(workload_.precision());
 
         // A configuration upset strikes a physical operator; sample
         // proportionally to each engine's instance count.
-        std::uint64_t pick = rng.below(total_units);
+        std::uint64_t pick = rng.below(totalUnits_);
         std::size_t which = 0;
-        while (pick >= engines[which].units) {
-            pick -= engines[which].units;
+        while (pick >= engines_[which].units) {
+            pick -= engines_[which].units;
             ++which;
         }
-        const auto &alloc = engines[which];
+        const auto &alloc = engines_[which];
         const fp::OpKind kind = alloc.engine.kind;
         const std::uint64_t unit = rng.below(alloc.units);
 
@@ -381,17 +453,87 @@ runPersistentCampaign(Workload &w, const CampaignConfig &config,
             mode_pick == 0 ? PersistMode::Flip
             : mode_pick == 1 ? PersistMode::StuckAt0
                              : PersistMode::StuckAt1;
+        const double bit_frac = rng.uniform();
         PersistentDatapathHook hook(kind, alloc.units, unit,
-                                    stages[si], rng.uniform(),
+                                    stages[si], bit_frac,
                                     alloc.engine.period,
                                     alloc.engine.lo, alloc.engine.hi,
                                     mode);
 
-        const bool hung =
-            executeArmed(w, golden, config, &hook, nullptr);
-        classify(w, golden, hung, result);
+        const bool hung = executeArmed(workload_, golden_, config_,
+                                       &hook, nullptr);
+        TrialOutcome trial = classify(workload_, golden_, hung);
+        if (describe) {
+            std::ostringstream os;
+            os << "site=persistent engine=" << alloc.engine.name
+               << " kind=" << fp::opKindName(kind) << " unit="
+               << unit << "/" << alloc.units << " stage="
+               << fp::stageName(stages[si]) << " mode="
+               << persistModeName(mode) << " bit-frac=" << bit_frac;
+            trial.description = os.str();
+        }
+        return trial;
     }
+
+  private:
+    std::vector<EngineAllocation> engines_;
+    std::uint64_t totalUnits_ = 0;
+};
+
+/** Plain in-memory campaign: every trial in index order. */
+CampaignResult
+runAll(TrialRunner &runner, std::uint64_t trials)
+{
+    CampaignResult result;
+    for (std::uint64_t t = 0; t < trials; ++t)
+        accumulate(result, runner.runTrial(t));
     return result;
+}
+
+} // namespace
+
+std::unique_ptr<TrialRunner>
+makeMemoryTrialRunner(Workload &w, const CampaignConfig &config)
+{
+    return std::make_unique<MemoryTrialRunner>(w, config);
+}
+
+std::unique_ptr<TrialRunner>
+makeDatapathTrialRunner(Workload &w, const CampaignConfig &config,
+                        fp::OpKind kind_filter)
+{
+    return std::make_unique<DatapathTrialRunner>(w, config,
+                                                 kind_filter);
+}
+
+std::unique_ptr<TrialRunner>
+makePersistentTrialRunner(Workload &w, const CampaignConfig &config,
+                          const std::vector<EngineAllocation> &engines)
+{
+    return std::make_unique<PersistentTrialRunner>(w, config, engines);
+}
+
+CampaignResult
+runMemoryCampaign(Workload &w, const CampaignConfig &config)
+{
+    MemoryTrialRunner runner(w, config);
+    return runAll(runner, config.trials);
+}
+
+CampaignResult
+runDatapathCampaign(Workload &w, const CampaignConfig &config,
+                    fp::OpKind kind_filter)
+{
+    DatapathTrialRunner runner(w, config, kind_filter);
+    return runAll(runner, config.trials);
+}
+
+CampaignResult
+runPersistentCampaign(Workload &w, const CampaignConfig &config,
+                      const std::vector<EngineAllocation> &engines)
+{
+    PersistentTrialRunner runner(w, config, engines);
+    return runAll(runner, config.trials);
 }
 
 CampaignResult

@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -27,6 +29,9 @@ namespace mparch::fault {
 
 /** How one injected execution ended. */
 enum class OutcomeKind { Masked, Sdc, Due, Detected };
+
+/** Name of an OutcomeKind ("masked" / "sdc" / "due" / "detected"). */
+const char *outcomeKindName(OutcomeKind outcome);
 
 /**
  * Anatomy of one injected fault, for bit-position-resolved analysis
@@ -140,7 +145,19 @@ struct CampaignConfig
     FaultModel model = FaultModel::SingleBitFlip;
     std::uint64_t seed = 1;        ///< fault-sampling seed
     std::uint64_t inputSeed = 99;  ///< workload input seed
-    /** Watchdog: abort when ticks exceed golden ticks x this. */
+
+    /**
+     * Hang watchdog: a trial whose tick count exceeds
+     * golden ticks x timeoutFactor is aborted and classified as a
+     * DUE (the fault turned the run into a hang/crash).
+     *
+     * Must be strictly positive; campaign construction rejects 0 or
+     * negative values via fatal(), since they would classify every
+     * trial — including fault-free ones — as a DUE. Values in (0, 1]
+     * are legal but almost always a configuration mistake (the
+     * budget is below the fault-free execution length); choose > 1,
+     * typically 2-10.
+     */
     double timeoutFactor = 4.0;
 
     /**
@@ -157,6 +174,9 @@ struct CampaignConfig
      * (single-bit-flip model required).
      */
     bool recordAnatomy = false;
+
+    /** Reject invalid knob combinations via fatal(). */
+    void validate() const;
 };
 
 /**
@@ -171,6 +191,111 @@ struct GoldenRun
     std::uint64_t ticks = 0;
     fp::FpContext ops;  ///< per-kind dynamic operation counts
 };
+
+/**
+ * Element-wise deviation of a corrupted output value from its golden
+ * value: relative (|c-g|/|g|) for non-zero golden values, absolute
+ * (|c|) when golden is exactly zero (a relative measure would report
+ * infinity for any perturbation of a benign zero and skew TRE
+ * curves), and infinity when either value is non-finite.
+ */
+double relativeDeviation(fp::Format f, std::uint64_t corrupted,
+                         std::uint64_t golden);
+
+/**
+ * Outcome of one replayable trial, before aggregation.
+ *
+ * Produced by TrialRunner::runTrial(); the campaign supervisor
+ * journals these one record per trial, and accumulate() folds them
+ * into a CampaignResult.
+ */
+struct TrialOutcome
+{
+    OutcomeKind outcome = OutcomeKind::Masked;
+
+    /** Deviation record; meaningful only when outcome == Sdc. */
+    SdcRecord sdc;
+
+    /** Anatomy of the injected fault, when the campaign records it. */
+    bool hasAnatomy = false;
+    FaultAnatomy anatomy;
+
+    /** Human-readable fault-site description (replay/debug only;
+     *  empty unless runTrial() was asked to describe). */
+    std::string description;
+};
+
+/** Fold one trial outcome into the campaign tallies. */
+void accumulate(CampaignResult &result, const TrialOutcome &trial);
+
+/**
+ * A prepared campaign that executes trials one at a time.
+ *
+ * Construction runs the golden reference and builds the sampling
+ * tables; runTrial(i) then derives every random choice of trial i
+ * from trialRng(config.seed, i) — a counter-based stream — so any
+ * trial can be re-executed standalone (replay) and the set of
+ * outcomes is independent of how the index range is partitioned
+ * across processes (sharding).
+ *
+ * The three factories below correspond to runMemoryCampaign /
+ * runDatapathCampaign / runPersistentCampaign, which are now thin
+ * index loops over this interface.
+ */
+class TrialRunner
+{
+  public:
+    virtual ~TrialRunner() = default;
+
+    /**
+     * Execute trial @p index and classify it against the golden run.
+     *
+     * @param describe Also fill TrialOutcome::description with the
+     *                 sampled fault site (costs a string; off on the
+     *                 campaign hot path).
+     */
+    virtual TrialOutcome runTrial(std::uint64_t index,
+                                  bool describe = false) = 0;
+
+    /** The fault-free reference this campaign classifies against. */
+    const GoldenRun &golden() const { return golden_; }
+
+  protected:
+    TrialRunner(workloads::Workload &w, const CampaignConfig &config)
+        : workload_(w), config_(config), golden_(w, config.inputSeed)
+    {
+        config.validate();
+    }
+
+    workloads::Workload &workload_;
+    CampaignConfig config_;
+    GoldenRun golden_;
+};
+
+/** Prepare a CAROL-FI-style memory campaign (see runMemoryCampaign). */
+std::unique_ptr<TrialRunner>
+makeMemoryTrialRunner(workloads::Workload &w,
+                      const CampaignConfig &config);
+
+/** Prepare a functional-unit campaign (see runDatapathCampaign). */
+std::unique_ptr<TrialRunner>
+makeDatapathTrialRunner(workloads::Workload &w,
+                        const CampaignConfig &config,
+                        fp::OpKind kind_filter = fp::OpKind::NumKinds);
+
+/** One engine of a spatial design and its physical operator count. */
+struct EngineAllocation
+{
+    workloads::Engine engine;
+    std::uint64_t units = 1;
+};
+
+/** Prepare an FPGA config-memory campaign (see
+ *  runPersistentCampaign). */
+std::unique_ptr<TrialRunner>
+makePersistentTrialRunner(workloads::Workload &w,
+                          const CampaignConfig &config,
+                          const std::vector<EngineAllocation> &engines);
 
 /**
  * CAROL-FI-style campaign: corrupt a random element of a random live
@@ -190,13 +315,6 @@ CampaignResult runMemoryCampaign(workloads::Workload &w,
 CampaignResult runDatapathCampaign(
     workloads::Workload &w, const CampaignConfig &config,
     fp::OpKind kind_filter = fp::OpKind::NumKinds);
-
-/** One engine of a spatial design and its physical operator count. */
-struct EngineAllocation
-{
-    workloads::Engine engine;
-    std::uint64_t units = 1;
-};
 
 /**
  * FPGA configuration-memory campaign: break one physical operator of

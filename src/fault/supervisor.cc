@@ -1,0 +1,349 @@
+#include "fault/supervisor.hh"
+
+#include <cmath>
+#include <csignal>
+#include <filesystem>
+#include <sstream>
+
+namespace mparch::fault {
+
+using workloads::Workload;
+
+const char *
+trialFailureName(TrialFailure failure)
+{
+    switch (failure) {
+      case TrialFailure::HangWatchdog:      return "hang-watchdog";
+      case TrialFailure::NonFiniteGolden:   return "non-finite-golden";
+      case TrialFailure::WorkloadException: return "workload-exception";
+      case TrialFailure::JournalIo:         return "journal-io-error";
+      case TrialFailure::NumFailures:       break;
+    }
+    return "?";
+}
+
+namespace {
+
+/** Last signal delivered while a supervised campaign was running. */
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+/** Scoped SIGINT/SIGTERM handler installation. */
+class SignalScope
+{
+  public:
+    explicit SignalScope(bool install) : installed_(install)
+    {
+        if (!installed_)
+            return;
+        g_signal = 0;
+        previousInt_ = std::signal(SIGINT, onSignal);
+        previousTerm_ = std::signal(SIGTERM, onSignal);
+    }
+
+    ~SignalScope()
+    {
+        if (!installed_)
+            return;
+        std::signal(SIGINT, previousInt_);
+        std::signal(SIGTERM, previousTerm_);
+    }
+
+    bool
+    fired() const
+    {
+        return installed_ && g_signal != 0;
+    }
+
+  private:
+    bool installed_;
+    void (*previousInt_)(int) = SIG_DFL;
+    void (*previousTerm_)(int) = SIG_DFL;
+};
+
+void
+bumpFailure(SupervisedCampaign &run, TrialFailure failure)
+{
+    ++run.failureCounts[static_cast<std::size_t>(failure)];
+}
+
+/** True when any golden output element decodes to inf/NaN. */
+bool
+goldenIsNonFinite(Workload &w, const GoldenRun &golden)
+{
+    const fp::Format f = fp::formatOf(w.output().precision);
+    for (std::uint64_t bits : golden.outputBits) {
+        if (!std::isfinite(fp::fpToDouble(f, bits)))
+            return true;
+    }
+    return false;
+}
+
+JournalHeader
+makeHeader(Workload &w, CampaignKind kind,
+           const CampaignConfig &config,
+           const SupervisorConfig &supervisor, fp::OpKind kind_filter,
+           const std::vector<EngineAllocation> &engines,
+           const GoldenRun &golden)
+{
+    JournalHeader header;
+    header.kind = kind;
+    header.workload = w.name();
+    header.precision = w.precision();
+    header.scale = supervisor.scale;
+    header.config = config;
+    header.kindFilter = kind_filter;
+    header.engines = engines;
+    header.shardCount =
+        supervisor.shardCount ? supervisor.shardCount : 1;
+    header.shardIndex = supervisor.shardIndex;
+    header.goldenFingerprint = goldenFingerprint(golden);
+    return header;
+}
+
+} // namespace
+
+std::unique_ptr<TrialRunner>
+makeTrialRunner(Workload &w, CampaignKind kind,
+                const CampaignConfig &config, fp::OpKind kind_filter,
+                const std::vector<EngineAllocation> &engines)
+{
+    switch (kind) {
+      case CampaignKind::Memory:
+        return makeMemoryTrialRunner(w, config);
+      case CampaignKind::Datapath:
+        return makeDatapathTrialRunner(w, config, kind_filter);
+      case CampaignKind::Persistent:
+        return makePersistentTrialRunner(w, config, engines);
+    }
+    panic("unknown campaign kind");
+}
+
+SupervisedCampaign
+runSupervisedCampaign(Workload &w, CampaignKind kind,
+                      const CampaignConfig &config,
+                      const SupervisorConfig &supervisor,
+                      fp::OpKind kind_filter,
+                      const std::vector<EngineAllocation> &engines)
+{
+    SupervisedCampaign run;
+    run.journalPath = supervisor.journalPath;
+
+    const std::uint64_t shards =
+        supervisor.shardCount ? supervisor.shardCount : 1;
+    if (supervisor.shardIndex >= shards) {
+        run.error = "shard index out of range";
+        return run;
+    }
+    for (std::uint64_t i = supervisor.shardIndex; i < config.trials;
+         i += shards) {
+        ++run.planned;
+    }
+
+    // Golden reference + sampling tables (also validates config).
+    const auto runner =
+        makeTrialRunner(w, kind, config, kind_filter, engines);
+    if (goldenIsNonFinite(w, runner->golden())) {
+        bumpFailure(run, TrialFailure::NonFiniteGolden);
+        run.error =
+            "golden run produced non-finite output; deviation-based "
+            "classification is meaningless (check workload inputs)";
+        return run;
+    }
+
+    const JournalHeader header =
+        makeHeader(w, kind, config, supervisor, kind_filter, engines,
+                   runner->golden());
+
+    // Resume: load completed trials and validate provenance.
+    std::vector<bool> done;
+    bool append = false;
+    if (supervisor.resume && !supervisor.journalPath.empty() &&
+        std::filesystem::exists(supervisor.journalPath)) {
+        std::string why;
+        const auto journal =
+            readJournal(supervisor.journalPath, &why);
+        if (!journal) {
+            run.error = "refusing to resume: " + why;
+            return run;
+        }
+        why = journal->header.mismatch(header);
+        if (!why.empty()) {
+            run.error = "refusing to resume from '" +
+                        supervisor.journalPath + "': " + why;
+            return run;
+        }
+        done.assign(config.trials, false);
+        for (const auto &rec : journal->records) {
+            if (rec.index >= config.trials || done[rec.index])
+                continue;
+            if (rec.index % shards != supervisor.shardIndex)
+                continue;
+            done[rec.index] = true;
+            accumulate(run.result, rec);
+            ++run.resumed;
+        }
+        // Cut any torn tail (a record half-written when the previous
+        // process died) so appended records start on a fresh line.
+        std::error_code ec;
+        const auto size =
+            std::filesystem::file_size(supervisor.journalPath, ec);
+        if (!ec && journal->validBytes < size) {
+            std::filesystem::resize_file(supervisor.journalPath,
+                                         journal->validBytes, ec);
+        }
+        append = true;
+    }
+
+    // Journal writer (fresh header unless appending after resume).
+    std::unique_ptr<JournalWriter> writer;
+    if (!supervisor.journalPath.empty()) {
+        writer = std::make_unique<JournalWriter>(
+            supervisor.journalPath, header, supervisor.batchSize,
+            /*truncate=*/!append);
+        if (!writer->ok()) {
+            bumpFailure(run, TrialFailure::JournalIo);
+            warn("cannot write journal '", supervisor.journalPath,
+                 "'; continuing without crash safety");
+            writer.reset();
+        }
+    }
+
+    SignalScope signals(supervisor.handleSignals);
+    const auto stopping = [&] {
+        return signals.fired() ||
+               (supervisor.shouldStop && supervisor.shouldStop());
+    };
+
+    for (std::uint64_t i = supervisor.shardIndex; i < config.trials;
+         i += shards) {
+        if (!done.empty() && done[i])
+            continue;
+        if (stopping()) {
+            run.interrupted = true;
+            break;
+        }
+
+        // Bounded retry: a trial that keeps throwing is poisoned and
+        // the campaign moves on (graceful degradation; the report
+        // carries the reduced coverage).
+        TrialOutcome trial;
+        int attempts = 0;
+        bool completed = false;
+        for (;;) {
+            try {
+                trial = runner->runTrial(i);
+                completed = true;
+                break;
+            } catch (const std::exception &e) {
+                bumpFailure(run, TrialFailure::WorkloadException);
+                if (attempts++ >= supervisor.maxRetries) {
+                    warn("trial ", i, " poisoned after ", attempts,
+                         " attempts: ", e.what());
+                    break;
+                }
+                ++run.retried;
+            }
+        }
+        if (!completed) {
+            ++run.poisoned;
+            continue;
+        }
+        if (trial.outcome == OutcomeKind::Due)
+            bumpFailure(run, TrialFailure::HangWatchdog);
+
+        accumulate(run.result, trial);
+        if (writer) {
+            writer->append(
+                makeTrialRecord(i, trial, attempts));
+            if (!writer->ok()) {
+                bumpFailure(run, TrialFailure::JournalIo);
+                warn("journal write to '", supervisor.journalPath,
+                     "' failed; continuing without crash safety");
+                writer.reset();
+            }
+        }
+    }
+
+    if (writer)
+        writer->flush();
+    if (run.interrupted) {
+        std::ostringstream os;
+        os << "campaign interrupted after " << run.result.trials
+           << "/" << run.planned << " trials";
+        if (writer && writer->ok()) {
+            os << "; journal flushed to '" << supervisor.journalPath
+               << "' — re-run with --resume to continue";
+        }
+        inform(os.str());
+    }
+    return run;
+}
+
+SupervisedCampaign
+runCampaign(Workload &w, CampaignKind kind,
+            const CampaignConfig &config,
+            const SupervisorConfig &supervisor, const std::string &tag,
+            fp::OpKind kind_filter,
+            const std::vector<EngineAllocation> &engines)
+{
+    SupervisorConfig resolved = supervisor;
+    if (resolved.journalPath.empty() && !resolved.journalDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(resolved.journalDir, ec);
+        std::ostringstream name;
+        name << w.name() << "-" << fp::precisionName(w.precision())
+             << "-" << tag;
+        if (resolved.shardCount > 1)
+            name << "-shard" << resolved.shardIndex;
+        name << ".mpj";
+        resolved.journalPath =
+            (std::filesystem::path(resolved.journalDir) / name.str())
+                .string();
+    }
+    return runSupervisedCampaign(w, kind, config, resolved,
+                                 kind_filter, engines);
+}
+
+ReplayResult
+replayTrial(Workload &w, const Journal &journal, std::uint64_t index)
+{
+    ReplayResult replay;
+    const JournalHeader &h = journal.header;
+    if (index >= h.config.trials) {
+        replay.error = "trial index out of range";
+        return replay;
+    }
+    if (h.workload != w.name() || h.precision != w.precision()) {
+        replay.error = "workload does not match the journal header";
+        return replay;
+    }
+
+    const auto runner = makeTrialRunner(w, h.kind, h.config,
+                                        h.kindFilter, h.engines);
+    if (goldenFingerprint(runner->golden()) != h.goldenFingerprint) {
+        replay.error =
+            "golden-run fingerprint mismatch: the workload, its "
+            "inputs or the FP model changed since the journal was "
+            "written";
+        return replay;
+    }
+
+    replay.trial = runner->runTrial(index, /*describe=*/true);
+    for (const auto &rec : journal.records) {
+        if (rec.index != index)
+            continue;
+        replay.journaled = rec;
+        replay.hasJournaled = true;
+        replay.consistent = rec.outcome == replay.trial.outcome;
+        break;
+    }
+    return replay;
+}
+
+} // namespace mparch::fault

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Crash-safe campaign supervisor.
+ *
+ * Wraps the three campaign kinds (memory / datapath / persistent)
+ * with the machinery that makes production-scale runs survivable:
+ *
+ *  - counter-based per-trial RNG (common/rng.hh trialRng), so every
+ *    trial is replayable standalone and sharded runs agree exactly
+ *    with unsharded ones;
+ *  - an append-only trial journal (fault/journal.hh) flushed in
+ *    configurable batches — a killed process loses at most one
+ *    batch of trials;
+ *  - resume: an existing journal is validated against the current
+ *    configuration and golden-run fingerprint (refusing to resume
+ *    across mismatches), completed trials are skipped, and the
+ *    campaign continues where it stopped;
+ *  - a structured trial-failure taxonomy with bounded per-trial
+ *    retry for transient failures and graceful degradation: a
+ *    pathological trial poisons itself, not the campaign, which
+ *    completes and reports partial coverage;
+ *  - SIGINT/SIGTERM-clean shutdown that flushes the journal and
+ *    prints a resume hint.
+ *
+ * See docs/campaigns.md for the journal format and the operational
+ * guide.
+ */
+
+#ifndef MPARCH_FAULT_SUPERVISOR_HH
+#define MPARCH_FAULT_SUPERVISOR_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/journal.hh"
+
+namespace mparch::fault {
+
+/**
+ * Why a trial (or the whole campaign) needed supervisor attention.
+ *
+ *  - HangWatchdog: the tick watchdog aborted the trial; classified
+ *    as a DUE (it *is* a campaign outcome), counted here so hangs
+ *    are visible separately in reports.
+ *  - NonFiniteGolden: the fault-free reference output contains
+ *    inf/NaN, so deviation-based classification is meaningless; the
+ *    campaign refuses to run (campaign-level, not per-trial).
+ *  - WorkloadException: Workload::execute()/reset() threw; retried
+ *    up to SupervisorConfig::maxRetries, then the trial is poisoned.
+ *  - JournalIo: appending or flushing the journal failed; journaling
+ *    is disabled and the campaign continues in memory.
+ */
+enum class TrialFailure
+{
+    HangWatchdog,
+    NonFiniteGolden,
+    WorkloadException,
+    JournalIo,
+    NumFailures,
+};
+
+/** Name of a TrialFailure ("hang-watchdog", ...). */
+const char *trialFailureName(TrialFailure failure);
+
+/** Supervisor knobs, separate from the campaign's physics knobs. */
+struct SupervisorConfig
+{
+    /** Journal file. Empty: derive from journalDir, or run without
+     *  a journal when that is empty too. */
+    std::string journalPath;
+
+    /** Directory for derived journal file names
+     *  (<workload>-<precision>-<tag>.mpj); created on demand. */
+    std::string journalDir;
+
+    /** Continue from an existing journal instead of truncating it. */
+    bool resume = false;
+
+    /** Trials per journal flush; a crash loses at most this many. */
+    std::uint64_t batchSize = 256;
+
+    /** Retries per trial before it is abandoned as poisoned. */
+    int maxRetries = 2;
+
+    /**
+     * Shard this run executes: trial i is owned by shard
+     * i % shardCount == shardIndex. Counter-based RNG guarantees
+     * that merging all shards' results reproduces the unsharded
+     * campaign exactly.
+     */
+    std::uint64_t shardCount = 1;
+    std::uint64_t shardIndex = 0;
+
+    /** Workload factory scale knob, recorded in the journal header
+     *  so replay can rebuild the workload. */
+    double scale = 1.0;
+
+    /** Install SIGINT/SIGTERM handlers for the duration of the run
+     *  (flush journal + print resume hint). CLI front-ends enable
+     *  this; library/test embeddings usually leave it off. */
+    bool handleSignals = false;
+
+    /** Optional cooperative stop: polled between trials. */
+    std::function<bool()> shouldStop;
+};
+
+/** Outcome of a supervised campaign run. */
+struct SupervisedCampaign
+{
+    /** Aggregated tallies over completed trials (resumed ones
+     *  included). */
+    CampaignResult result;
+
+    /** Trials this shard owns in total. */
+    std::uint64_t planned = 0;
+
+    /** Trials loaded from the journal instead of executed. */
+    std::uint64_t resumed = 0;
+
+    /** Retry attempts that were spent (across all trials). */
+    std::uint64_t retried = 0;
+
+    /** Trials abandoned after exhausting retries. */
+    std::uint64_t poisoned = 0;
+
+    /** Per-cause counters, indexed by TrialFailure. */
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(TrialFailure::NumFailures)>
+        failureCounts{};
+
+    /** True when the run stopped early (signal / shouldStop). */
+    bool interrupted = false;
+
+    /** Journal file used, when any. */
+    std::string journalPath;
+
+    /** Campaign-level refusal (resume mismatch, non-finite golden,
+     *  unopenable journal); empty on a normal run. */
+    std::string error;
+
+    /** Completed fraction of the planned trials (1.0 when all ran;
+     *  poisoned trials reduce coverage). */
+    double
+    coverage() const
+    {
+        return planned ? static_cast<double>(result.trials) /
+                             static_cast<double>(planned)
+                       : 1.0;
+    }
+
+    /** All planned trials accounted for (completed or poisoned). */
+    bool
+    complete() const
+    {
+        return error.empty() && !interrupted &&
+               result.trials + poisoned == planned;
+    }
+};
+
+/**
+ * Build the per-trial runner for any campaign kind (the supervisor's
+ * and the replay tool's common factory).
+ */
+std::unique_ptr<TrialRunner>
+makeTrialRunner(workloads::Workload &w, CampaignKind kind,
+                const CampaignConfig &config,
+                fp::OpKind kind_filter = fp::OpKind::NumKinds,
+                const std::vector<EngineAllocation> &engines = {});
+
+/**
+ * Run one campaign under supervision.
+ *
+ * @param w           Workload (reset per trial, like the plain
+ *                    campaign functions).
+ * @param kind        Which campaign protocol to run.
+ * @param config      Campaign physics knobs.
+ * @param supervisor  Robustness knobs (journal, resume, shards...).
+ * @param kind_filter Datapath campaigns: restrict to one op kind.
+ * @param engines     Persistent campaigns: engine allocations.
+ */
+SupervisedCampaign
+runSupervisedCampaign(workloads::Workload &w, CampaignKind kind,
+                      const CampaignConfig &config,
+                      const SupervisorConfig &supervisor,
+                      fp::OpKind kind_filter = fp::OpKind::NumKinds,
+                      const std::vector<EngineAllocation> &engines = {});
+
+/**
+ * Arch-model helper: supervised run when the supervisor options
+ * carry a journal destination, plain in-memory supervised run
+ * otherwise. @p tag disambiguates the derived journal file when one
+ * study runs several campaigns per workload ("datapath", "bram"...).
+ */
+SupervisedCampaign
+runCampaign(workloads::Workload &w, CampaignKind kind,
+            const CampaignConfig &config,
+            const SupervisorConfig &supervisor, const std::string &tag,
+            fp::OpKind kind_filter = fp::OpKind::NumKinds,
+            const std::vector<EngineAllocation> &engines = {});
+
+/** Result of replaying one journaled trial. */
+struct ReplayResult
+{
+    /** Fresh re-execution of the trial, with the fault site
+     *  described (TrialOutcome::description). */
+    TrialOutcome trial;
+
+    /** The journaled record for the same index, when present. */
+    TrialRecord journaled;
+    bool hasJournaled = false;
+
+    /** True when the journaled outcome matches the re-execution. */
+    bool consistent = true;
+
+    /** Non-empty when the replay could not run. */
+    std::string error;
+};
+
+/**
+ * Re-execute one journaled trial standalone and dump its anatomy.
+ *
+ * The caller rebuilds the workload from the journal header
+ * (name/precision/scale); this function validates the golden-run
+ * fingerprint, derives the trial's RNG stream from (seed, index)
+ * and runs exactly that trial.
+ */
+ReplayResult replayTrial(workloads::Workload &w,
+                         const Journal &journal, std::uint64_t index);
+
+} // namespace mparch::fault
+
+#endif // MPARCH_FAULT_SUPERVISOR_HH

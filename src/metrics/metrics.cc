@@ -57,4 +57,17 @@ criticalitySplit(const fault::CampaignResult &result)
     return split;
 }
 
+CoverageReport
+coverageReport(const fault::SupervisedCampaign &run)
+{
+    CoverageReport report;
+    report.planned = run.planned;
+    report.completed = run.result.trials;
+    report.poisoned = run.poisoned;
+    report.coverage = run.coverage();
+    report.degraded = !run.complete() || run.poisoned > 0;
+    report.avfSdc95 = run.result.avfSdc95();
+    return report;
+}
+
 } // namespace mparch::metrics

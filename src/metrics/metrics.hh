@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fault/campaign.hh"
+#include "fault/supervisor.hh"
 
 namespace mparch::metrics {
 
@@ -64,6 +65,27 @@ struct CriticalitySplit
 
 /** Compute the severity split of a campaign's corpus. */
 CriticalitySplit criticalitySplit(const fault::CampaignResult &result);
+
+/**
+ * Completion summary of a supervised campaign (partial coverage).
+ *
+ * A degraded campaign still yields unbiased AVF point estimates —
+ * the supervisor skips trials by index, never by outcome — but the
+ * Wilson interval widens with the shrunken sample. Reporting both
+ * keeps a partial run from being mistaken for a full one.
+ */
+struct CoverageReport
+{
+    std::uint64_t planned = 0;   ///< trials this run owned
+    std::uint64_t completed = 0; ///< trials with a recorded outcome
+    std::uint64_t poisoned = 0;  ///< abandoned after bounded retry
+    double coverage = 1.0;       ///< completed / planned
+    bool degraded = false;       ///< incomplete or any poisoned
+    Interval avfSdc95;           ///< Wilson interval at achieved n
+};
+
+/** Summarise a supervised campaign's completion state. */
+CoverageReport coverageReport(const fault::SupervisedCampaign &run);
 
 /**
  * Effective SDC rate of a *persistent*-fault device (FPGA

@@ -208,6 +208,60 @@ TEST(CampaignResultTest, MergeAddsTallies)
     EXPECT_EQ(a.corpus.size(), 2u);
 }
 
+TEST(CampaignResultTest, MergePreservesAnatomy)
+{
+    // Regression: merge() used to drop the anatomy vector, silently
+    // breaking fieldAvf() on merged (e.g. sharded) campaigns.
+    CampaignResult a, b;
+    a.trials = b.trials = 2;
+    a.sdc = b.sdc = 1;
+    a.masked = b.masked = 1;
+    FaultAnatomy hit;
+    hit.bit = 30;
+    hit.field = FaultAnatomy::Field::Exponent;
+    hit.outcome = OutcomeKind::Sdc;
+    FaultAnatomy miss;
+    miss.bit = 0;
+    miss.field = FaultAnatomy::Field::MantissaLow;
+    miss.outcome = OutcomeKind::Masked;
+    a.anatomy = {hit, miss};
+    b.anatomy = {hit, hit};
+    a.merge(b);
+    ASSERT_EQ(a.anatomy.size(), 4u);
+    EXPECT_DOUBLE_EQ(a.fieldAvf(FaultAnatomy::Field::Exponent), 1.0);
+    EXPECT_DOUBLE_EQ(a.fieldAvf(FaultAnatomy::Field::MantissaLow),
+                     0.0);
+}
+
+TEST(CampaignConfigTest, RejectsNonPositiveTimeoutFactor)
+{
+    CampaignConfig config;
+    config.timeoutFactor = 0.0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "timeoutFactor");
+    config.timeoutFactor = -2.0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "timeoutFactor");
+    config.timeoutFactor = 0.5;
+    config.validate();  // legal (if suspiciously tight)
+}
+
+TEST(RelativeDeviationTest, ZeroGoldenRecordsAbsoluteDeviation)
+{
+    const fp::Format f = fp::formatOf(Precision::Single);
+    const std::uint64_t zero = fp::fpFromDouble(f, 0.0);
+    const std::uint64_t half = fp::fpFromDouble(f, 0.5);
+    const std::uint64_t four = fp::fpFromDouble(f, 4.0);
+    // Zero golden: absolute deviation, not infinity.
+    EXPECT_DOUBLE_EQ(relativeDeviation(f, half, zero), 0.5);
+    EXPECT_DOUBLE_EQ(relativeDeviation(f, zero, zero), 0.0);
+    // Non-zero golden: the usual relative measure.
+    EXPECT_DOUBLE_EQ(relativeDeviation(f, half, four), 0.875);
+    // Non-finite values still classify as unbounded deviation.
+    const std::uint64_t inf = fp::fpFromDouble(f, 1e39);
+    EXPECT_TRUE(std::isinf(relativeDeviation(f, inf, four)));
+}
+
 TEST(PersistentCampaignTest, BrokenOperatorCorruptsMoreOutput)
 {
     auto w = makeWorkload("mxm", Precision::Single, 0.1);
