@@ -7,7 +7,7 @@
  *   study    --arch fpga|xeon-phi|gpu --workload NAME
  *            [--precision double|single|half|bfloat16] [--trials N]
  *            [--scale S] [--csv FILE] [--json FILE]
- *            [--journal DIR] [--resume] [--batch N]
+ *            [--journal DIR] [--resume] [--batch N] [--jobs N]
  *     Run the full reliability study (FIT, MEBF, TRE, criticality).
  *     With --journal every campaign appends its trials to a journal
  *     under DIR; --resume continues an interrupted study from those
@@ -17,8 +17,11 @@
  *            [--site memory|datapath] [--model single-bit-flip|
  *            double-bit-flip|random-byte|random-value] [--trials N]
  *            [--scale S] [--journal DIR] [--resume] [--batch N]
- *            [--shards N --shard I]
+ *            [--shards N --shard I] [--jobs N]
  *     Run one injection campaign and print the outcome accounting.
+ *     --jobs executes trials on N worker threads (0 = all hardware
+ *     threads, the default); journals and results are byte-identical
+ *     to --jobs 1 because outcomes are committed in index order.
  *     --shards/--shard run an interleaved slice (trial i belongs to
  *     shard i mod N); merged shard journals reproduce the unsharded
  *     campaign exactly.
@@ -152,6 +155,7 @@ cmdStudy(const Args &args)
     config.resume = args.getFlag("resume");
     config.batchSize =
         static_cast<std::uint64_t>(args.getNum("batch", 256));
+    config.jobs = static_cast<unsigned>(args.getNum("jobs", 0));
 
     const core::StudyResult result = core::runStudy(config);
     result.printReport(std::cout);
@@ -226,6 +230,9 @@ cmdCampaign(const Args &args)
     supervisor.shardIndex =
         static_cast<std::uint64_t>(args.getNum("shard", 0));
     supervisor.scale = args.getNum("scale", 0.2);
+    supervisor.jobs = static_cast<unsigned>(args.getNum("jobs", 0));
+    // Factory workload + correct scale: the cache key is sound.
+    supervisor.useGoldenCache = true;
     supervisor.handleSignals = true;
 
     const fault::SupervisedCampaign run =

@@ -73,6 +73,11 @@ struct StudyConfig
     /** Trial records buffered between journal flushes; a killed
      *  process loses at most one batch. */
     std::uint64_t batchSize = 256;
+
+    /** Worker threads per campaign: 0 = all hardware threads,
+     *  1 = serial. Results are bit-identical for every value (see
+     *  docs/performance.md). */
+    unsigned jobs = 0;
 };
 
 /** Everything measured for one precision. */

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <sstream>
 
 #include "fault/hooks.hh"
@@ -97,8 +99,10 @@ CampaignResult::merge(const CampaignResult &other)
     sdc += other.sdc;
     due += other.due;
     detected += other.detected;
+    corpus.reserve(corpus.size() + other.corpus.size());
     corpus.insert(corpus.end(), other.corpus.begin(),
                   other.corpus.end());
+    anatomy.reserve(anatomy.size() + other.anatomy.size());
     anatomy.insert(anatomy.end(), other.anatomy.begin(),
                    other.anatomy.end());
 }
@@ -225,11 +229,19 @@ executeArmed(Workload &w, const GoldenRun &golden,
 class MemoryTrialRunner : public TrialRunner
 {
   public:
-    MemoryTrialRunner(Workload &w, const CampaignConfig &config)
-        : TrialRunner(w, config)
+    MemoryTrialRunner(Workload &w, const CampaignConfig &config,
+                      std::shared_ptr<const GoldenRun> golden = nullptr)
+        : TrialRunner(w, config, std::move(golden))
     {
-        MPARCH_ASSERT(golden_.ticks > 0,
+        MPARCH_ASSERT(golden_->ticks > 0,
                       "workload must tick at least once");
+    }
+
+    std::unique_ptr<TrialRunner>
+    fork(Workload &w) const override
+    {
+        return std::make_unique<MemoryTrialRunner>(w, config_,
+                                                   golden_);
     }
 
     TrialOutcome
@@ -255,7 +267,7 @@ class MemoryTrialRunner : public TrialRunner
         const std::size_t element = rng.below(target.count);
         const unsigned width =
             fp::formatOf(target.precision).totalBits;
-        const std::uint64_t inject_tick = rng.below(golden_.ticks);
+        const std::uint64_t inject_tick = rng.below(golden_->ticks);
         Rng payload_rng = rng.fork();
 
         int flipped_bit = -1;
@@ -284,9 +296,9 @@ class MemoryTrialRunner : public TrialRunner
                 flipped_bit = highestSetBit(before ^ after);
             target.set(element, after);
         };
-        const bool hung = executeArmed(workload_, golden_, config_,
+        const bool hung = executeArmed(workload_, *golden_, config_,
                                        nullptr, on_tick);
-        TrialOutcome trial = classify(workload_, golden_, hung);
+        TrialOutcome trial = classify(workload_, *golden_, hung);
         if (config_.recordAnatomy && flipped_bit >= 0) {
             trial.hasAnatomy = true;
             trial.anatomy.bit = flipped_bit;
@@ -313,8 +325,9 @@ class DatapathTrialRunner : public TrialRunner
 {
   public:
     DatapathTrialRunner(Workload &w, const CampaignConfig &config,
-                        fp::OpKind kind_filter)
-        : TrialRunner(w, config)
+                        fp::OpKind kind_filter,
+                        std::shared_ptr<const GoldenRun> golden = nullptr)
+        : TrialRunner(w, config, std::move(golden))
     {
         // Candidate kinds and their dynamic op counts (Exp is
         // excluded: its constituent mul/fma ops are the targets).
@@ -328,13 +341,24 @@ class DatapathTrialRunner : public TrialRunner
                 kind != kind_filter) {
                 continue;
             }
-            const std::uint64_t n = golden_.ops.count(kind);
+            const std::uint64_t n = golden_->ops.count(kind);
             if (n == 0)
                 continue;
             kinds_.emplace_back(kind, n);
             totalOps_ += n;
         }
         MPARCH_ASSERT(totalOps_ > 0, "no operations to strike");
+    }
+
+    std::unique_ptr<TrialRunner>
+    fork(Workload &w) const override
+    {
+        auto copy =
+            std::unique_ptr<DatapathTrialRunner>(
+                new DatapathTrialRunner(w, config_, golden_));
+        copy->kinds_ = kinds_;
+        copy->totalOps_ = totalOps_;
+        return copy;
     }
 
     TrialOutcome
@@ -383,9 +407,9 @@ class DatapathTrialRunner : public TrialRunner
         const double bit_frac = rng.uniform();
         OneShotDatapathHook hook(kind, op_index, stages[si], bit_frac);
 
-        const bool hung = executeArmed(workload_, golden_, config_,
+        const bool hung = executeArmed(workload_, *golden_, config_,
                                        &hook, nullptr);
-        TrialOutcome trial = classify(workload_, golden_, hung);
+        TrialOutcome trial = classify(workload_, *golden_, hung);
         if (describe) {
             std::ostringstream os;
             os << "site=datapath kind=" << fp::opKindName(kind)
@@ -398,6 +422,13 @@ class DatapathTrialRunner : public TrialRunner
     }
 
   private:
+    /** Fork constructor: sampling tables are copied by fork(). */
+    DatapathTrialRunner(Workload &w, const CampaignConfig &config,
+                        std::shared_ptr<const GoldenRun> golden)
+        : TrialRunner(w, config, std::move(golden))
+    {
+    }
+
     std::vector<std::pair<fp::OpKind, std::uint64_t>> kinds_;
     std::uint64_t totalOps_ = 0;
 };
@@ -407,12 +438,21 @@ class PersistentTrialRunner : public TrialRunner
 {
   public:
     PersistentTrialRunner(Workload &w, const CampaignConfig &config,
-                          std::vector<EngineAllocation> engines)
-        : TrialRunner(w, config), engines_(std::move(engines))
+                          std::vector<EngineAllocation> engines,
+                          std::shared_ptr<const GoldenRun> golden = nullptr)
+        : TrialRunner(w, config, std::move(golden)),
+          engines_(std::move(engines))
     {
         for (const auto &alloc : engines_)
             totalUnits_ += alloc.units;
         MPARCH_ASSERT(totalUnits_ > 0, "circuit has no physical units");
+    }
+
+    std::unique_ptr<TrialRunner>
+    fork(Workload &w) const override
+    {
+        return std::make_unique<PersistentTrialRunner>(
+            w, config_, engines_, golden_);
     }
 
     TrialOutcome
@@ -460,9 +500,9 @@ class PersistentTrialRunner : public TrialRunner
                                     alloc.engine.lo, alloc.engine.hi,
                                     mode);
 
-        const bool hung = executeArmed(workload_, golden_, config_,
+        const bool hung = executeArmed(workload_, *golden_, config_,
                                        &hook, nullptr);
-        TrialOutcome trial = classify(workload_, golden_, hung);
+        TrialOutcome trial = classify(workload_, *golden_, hung);
         if (describe) {
             std::ostringstream os;
             os << "site=persistent engine=" << alloc.engine.name
@@ -485,32 +525,90 @@ CampaignResult
 runAll(TrialRunner &runner, std::uint64_t trials)
 {
     CampaignResult result;
+    result.corpus.reserve(trials);
+    if (runner.config().recordAnatomy)
+        result.anatomy.reserve(trials);
     for (std::uint64_t t = 0; t < trials; ++t)
         accumulate(result, runner.runTrial(t));
     return result;
 }
 
+/** Golden-run cache key; the full identity of a factory workload. */
+struct GoldenKey
+{
+    std::string name;
+    fp::Precision precision;
+    double scale;
+    std::uint64_t inputSeed;
+
+    bool
+    operator<(const GoldenKey &o) const
+    {
+        if (name != o.name)
+            return name < o.name;
+        if (precision != o.precision)
+            return precision < o.precision;
+        if (scale != o.scale)
+            return scale < o.scale;
+        return inputSeed < o.inputSeed;
+    }
+};
+
+std::mutex g_goldenCacheMu;
+std::map<GoldenKey, std::shared_ptr<const GoldenRun>> g_goldenCache;
+
 } // namespace
 
-std::unique_ptr<TrialRunner>
-makeMemoryTrialRunner(Workload &w, const CampaignConfig &config)
+std::shared_ptr<const GoldenRun>
+cachedGoldenRun(Workload &w, std::uint64_t input_seed, double scale)
 {
-    return std::make_unique<MemoryTrialRunner>(w, config);
+    const GoldenKey key{w.name(), w.precision(), scale, input_seed};
+    // Compute under the lock: concurrent requests for the same key
+    // would otherwise duplicate the (expensive) reference execution,
+    // and campaigns only parallelise trials, not golden runs.
+    std::lock_guard<std::mutex> lock(g_goldenCacheMu);
+    auto it = g_goldenCache.find(key);
+    if (it == g_goldenCache.end()) {
+        it = g_goldenCache
+                 .emplace(key, std::make_shared<const GoldenRun>(
+                                   w, input_seed))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+clearGoldenRunCache()
+{
+    std::lock_guard<std::mutex> lock(g_goldenCacheMu);
+    g_goldenCache.clear();
+}
+
+std::unique_ptr<TrialRunner>
+makeMemoryTrialRunner(Workload &w, const CampaignConfig &config,
+                      std::shared_ptr<const GoldenRun> golden)
+{
+    return std::make_unique<MemoryTrialRunner>(w, config,
+                                               std::move(golden));
 }
 
 std::unique_ptr<TrialRunner>
 makeDatapathTrialRunner(Workload &w, const CampaignConfig &config,
-                        fp::OpKind kind_filter)
+                        fp::OpKind kind_filter,
+                        std::shared_ptr<const GoldenRun> golden)
 {
     return std::make_unique<DatapathTrialRunner>(w, config,
-                                                 kind_filter);
+                                                 kind_filter,
+                                                 std::move(golden));
 }
 
 std::unique_ptr<TrialRunner>
 makePersistentTrialRunner(Workload &w, const CampaignConfig &config,
-                          const std::vector<EngineAllocation> &engines)
+                          const std::vector<EngineAllocation> &engines,
+                          std::shared_ptr<const GoldenRun> golden)
 {
-    return std::make_unique<PersistentTrialRunner>(w, config, engines);
+    return std::make_unique<PersistentTrialRunner>(
+        w, config, engines, std::move(golden));
 }
 
 CampaignResult

@@ -257,31 +257,79 @@ class TrialRunner
     virtual TrialOutcome runTrial(std::uint64_t index,
                                   bool describe = false) = 0;
 
+    /**
+     * A runner over workload @p w (a clone of this runner's workload)
+     * that shares the immutable golden run and sampling tables
+     * instead of recomputing them. Forks drive the parallel campaign
+     * engine: one fork per worker thread, each over its own clone,
+     * produces bit-identical trials to this runner.
+     */
+    virtual std::unique_ptr<TrialRunner>
+    fork(workloads::Workload &w) const = 0;
+
     /** The fault-free reference this campaign classifies against. */
-    const GoldenRun &golden() const { return golden_; }
+    const GoldenRun &golden() const { return *golden_; }
+
+    /** The campaign knobs this runner was built with. */
+    const CampaignConfig &config() const { return config_; }
 
   protected:
-    TrialRunner(workloads::Workload &w, const CampaignConfig &config)
-        : workload_(w), config_(config), golden_(w, config.inputSeed)
+    /**
+     * @param golden Pre-computed golden run to share (golden-run
+     *               cache, forks); null recomputes it from @p w.
+     */
+    TrialRunner(workloads::Workload &w, const CampaignConfig &config,
+                std::shared_ptr<const GoldenRun> golden = nullptr)
+        : workload_(w), config_(config), golden_(std::move(golden))
     {
         config.validate();
+        if (!golden_) {
+            golden_ =
+                std::make_shared<const GoldenRun>(w, config.inputSeed);
+        }
     }
 
     workloads::Workload &workload_;
     CampaignConfig config_;
-    GoldenRun golden_;
+    std::shared_ptr<const GoldenRun> golden_;
 };
 
-/** Prepare a CAROL-FI-style memory campaign (see runMemoryCampaign). */
+/**
+ * Process-wide golden-run cache.
+ *
+ * A study runs several campaigns (memory, datapath, persistent,
+ * several fault models) over the same workload instance; each one
+ * re-executing the identical fault-free reference is pure waste.
+ * This returns a shared golden run keyed on (workload name,
+ * precision, scale, inputSeed), executing the workload only on the
+ * first request for a key.
+ *
+ * The key must fully determine the workload's behaviour, which holds
+ * for factory-made workloads (makeWorkload and the mitigation
+ * wrappers) when @p scale is the factory scale. Hand-built workloads
+ * whose behaviour varies beyond that key must not use the cache.
+ * Thread-safe.
+ */
+std::shared_ptr<const GoldenRun>
+cachedGoldenRun(workloads::Workload &w, std::uint64_t input_seed,
+                double scale);
+
+/** Drop every cached golden run (tests, FP-model experiments). */
+void clearGoldenRunCache();
+
+/** Prepare a CAROL-FI-style memory campaign (see runMemoryCampaign).
+ *  @param golden Optional pre-computed golden run to share. */
 std::unique_ptr<TrialRunner>
 makeMemoryTrialRunner(workloads::Workload &w,
-                      const CampaignConfig &config);
+                      const CampaignConfig &config,
+                      std::shared_ptr<const GoldenRun> golden = nullptr);
 
 /** Prepare a functional-unit campaign (see runDatapathCampaign). */
 std::unique_ptr<TrialRunner>
 makeDatapathTrialRunner(workloads::Workload &w,
                         const CampaignConfig &config,
-                        fp::OpKind kind_filter = fp::OpKind::NumKinds);
+                        fp::OpKind kind_filter = fp::OpKind::NumKinds,
+                        std::shared_ptr<const GoldenRun> golden = nullptr);
 
 /** One engine of a spatial design and its physical operator count. */
 struct EngineAllocation
@@ -295,7 +343,8 @@ struct EngineAllocation
 std::unique_ptr<TrialRunner>
 makePersistentTrialRunner(workloads::Workload &w,
                           const CampaignConfig &config,
-                          const std::vector<EngineAllocation> &engines);
+                          const std::vector<EngineAllocation> &engines,
+                          std::shared_ptr<const GoldenRun> golden = nullptr);
 
 /**
  * CAROL-FI-style campaign: corrupt a random element of a random live

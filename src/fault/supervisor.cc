@@ -1,9 +1,12 @@
 #include "fault/supervisor.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <csignal>
 #include <filesystem>
 #include <sstream>
+
+#include "common/parallel.hh"
 
 namespace mparch::fault {
 
@@ -106,20 +109,63 @@ makeHeader(Workload &w, CampaignKind kind,
     return header;
 }
 
+/**
+ * Everything the supervisor needs to know about one executed trial:
+ * the outcome plus the retry bookkeeping. Produced by workers (or
+ * the serial loop) and folded into the campaign by commit() on the
+ * supervising thread, strictly in index order.
+ */
+struct TrialCell
+{
+    std::uint64_t index = 0;
+    TrialOutcome trial;
+    int throws = 0;        ///< exceptions caught (== serial `attempts`)
+    bool completed = false;
+    std::string error;     ///< last exception message when poisoned
+};
+
+/**
+ * Run one trial with bounded retry. A trial that keeps throwing is
+ * poisoned and the campaign moves on (graceful degradation; the
+ * report carries the reduced coverage).
+ */
+TrialCell
+runSupervisedTrial(TrialRunner &runner, std::uint64_t index,
+                   int max_retries)
+{
+    TrialCell cell;
+    cell.index = index;
+    for (;;) {
+        try {
+            cell.trial = runner.runTrial(index);
+            cell.completed = true;
+            return cell;
+        } catch (const std::exception &e) {
+            if (cell.throws++ >= max_retries) {
+                cell.error = e.what();
+                return cell;
+            }
+        }
+    }
+}
+
 } // namespace
 
 std::unique_ptr<TrialRunner>
 makeTrialRunner(Workload &w, CampaignKind kind,
                 const CampaignConfig &config, fp::OpKind kind_filter,
-                const std::vector<EngineAllocation> &engines)
+                const std::vector<EngineAllocation> &engines,
+                std::shared_ptr<const GoldenRun> golden)
 {
     switch (kind) {
       case CampaignKind::Memory:
-        return makeMemoryTrialRunner(w, config);
+        return makeMemoryTrialRunner(w, config, std::move(golden));
       case CampaignKind::Datapath:
-        return makeDatapathTrialRunner(w, config, kind_filter);
+        return makeDatapathTrialRunner(w, config, kind_filter,
+                                       std::move(golden));
       case CampaignKind::Persistent:
-        return makePersistentTrialRunner(w, config, engines);
+        return makePersistentTrialRunner(w, config, engines,
+                                         std::move(golden));
     }
     panic("unknown campaign kind");
 }
@@ -146,8 +192,13 @@ runSupervisedCampaign(Workload &w, CampaignKind kind,
     }
 
     // Golden reference + sampling tables (also validates config).
-    const auto runner =
-        makeTrialRunner(w, kind, config, kind_filter, engines);
+    std::shared_ptr<const GoldenRun> golden;
+    if (supervisor.useGoldenCache) {
+        golden =
+            cachedGoldenRun(w, config.inputSeed, supervisor.scale);
+    }
+    const auto runner = makeTrialRunner(w, kind, config, kind_filter,
+                                        engines, std::move(golden));
     if (goldenIsNonFinite(w, runner->golden())) {
         bumpFailure(run, TrialFailure::NonFiniteGolden);
         run.error =
@@ -220,47 +271,45 @@ runSupervisedCampaign(Workload &w, CampaignKind kind,
                (supervisor.shouldStop && supervisor.shouldStop());
     };
 
+    // Indices this run still has to execute, in order.
+    std::vector<std::uint64_t> pending;
+    pending.reserve(run.planned - run.resumed);
     for (std::uint64_t i = supervisor.shardIndex; i < config.trials;
          i += shards) {
-        if (!done.empty() && done[i])
-            continue;
-        if (stopping()) {
-            run.interrupted = true;
-            break;
-        }
+        if (done.empty() || !done[i])
+            pending.push_back(i);
+    }
+    run.result.corpus.reserve(run.result.corpus.size() +
+                              pending.size());
+    if (config.recordAnatomy) {
+        run.result.anatomy.reserve(run.result.anatomy.size() +
+                                   pending.size());
+    }
 
-        // Bounded retry: a trial that keeps throwing is poisoned and
-        // the campaign moves on (graceful degradation; the report
-        // carries the reduced coverage).
-        TrialOutcome trial;
-        int attempts = 0;
-        bool completed = false;
-        for (;;) {
-            try {
-                trial = runner->runTrial(i);
-                completed = true;
-                break;
-            } catch (const std::exception &e) {
-                bumpFailure(run, TrialFailure::WorkloadException);
-                if (attempts++ >= supervisor.maxRetries) {
-                    warn("trial ", i, " poisoned after ", attempts,
-                         " attempts: ", e.what());
-                    break;
-                }
-                ++run.retried;
-            }
-        }
-        if (!completed) {
+    // Fold one finished trial into the campaign: retry/poison
+    // bookkeeping, tallies, journal. Called strictly in index order
+    // on this thread, so serial and parallel runs produce identical
+    // journal bytes and CampaignResults.
+    const auto commit = [&](const TrialCell &cell) {
+        for (int t = 0; t < cell.throws; ++t)
+            bumpFailure(run, TrialFailure::WorkloadException);
+        if (!cell.completed) {
+            if (cell.throws > 0)
+                run.retried += static_cast<std::uint64_t>(
+                    cell.throws - 1);
+            warn("trial ", cell.index, " poisoned after ",
+                 cell.throws, " attempts: ", cell.error);
             ++run.poisoned;
-            continue;
+            return;
         }
-        if (trial.outcome == OutcomeKind::Due)
+        run.retried += static_cast<std::uint64_t>(cell.throws);
+        if (cell.trial.outcome == OutcomeKind::Due)
             bumpFailure(run, TrialFailure::HangWatchdog);
 
-        accumulate(run.result, trial);
+        accumulate(run.result, cell.trial);
         if (writer) {
             writer->append(
-                makeTrialRecord(i, trial, attempts));
+                makeTrialRecord(cell.index, cell.trial, cell.throws));
             if (!writer->ok()) {
                 bumpFailure(run, TrialFailure::JournalIo);
                 warn("journal write to '", supervisor.journalPath,
@@ -268,6 +317,87 @@ runSupervisedCampaign(Workload &w, CampaignKind kind,
                 writer.reset();
             }
         }
+    };
+
+    const unsigned jobs = pending.size() > 1
+                              ? parallel::resolveJobs(supervisor.jobs)
+                              : 1;
+    if (jobs <= 1) {
+        for (std::uint64_t index : pending) {
+            if (stopping()) {
+                run.interrupted = true;
+                break;
+            }
+            commit(runSupervisedTrial(*runner, index,
+                                      supervisor.maxRetries));
+        }
+    } else {
+        // Parallel path: workers claim chunks of the pending list,
+        // run trials on their own workload clone + runner fork, and
+        // hand cells through a bounded reorder window; this thread
+        // commits them in index order. Counter-based trial RNG makes
+        // every trial independent of execution order, so the result
+        // is bit-identical to the serial loop.
+        const std::uint64_t chunk = std::clamp<std::uint64_t>(
+            pending.size() / (static_cast<std::uint64_t>(jobs) * 4),
+            1, 32);
+        parallel::IndexChunker chunker(pending.size(), chunk);
+        parallel::OrderedChannel<TrialCell> channel(
+            std::max<std::size_t>(jobs * chunk * 4, 256), jobs);
+
+        // Clones and forks are built up front, on this thread, so
+        // construction failures surface before any worker starts.
+        std::vector<workloads::WorkloadPtr> clones;
+        std::vector<std::unique_ptr<TrialRunner>> forks;
+        clones.reserve(jobs);
+        forks.reserve(jobs);
+        for (unsigned j = 0; j < jobs; ++j) {
+            clones.push_back(w.clone());
+            forks.push_back(runner->fork(*clones.back()));
+        }
+
+        parallel::ThreadPool pool(jobs);
+        pool.start([&](unsigned worker) {
+            TrialRunner &mine = *forks[worker];
+            std::uint64_t begin = 0, end = 0;
+            while (chunker.next(begin, end)) {
+                for (std::uint64_t pos = begin; pos < end; ++pos) {
+                    TrialCell cell;
+                    try {
+                        cell = runSupervisedTrial(
+                            mine, pending[pos],
+                            supervisor.maxRetries);
+                    } catch (...) {
+                        // Non-std exception: poison, don't terminate.
+                        cell.index = pending[pos];
+                        cell.throws = supervisor.maxRetries + 1;
+                        cell.error = "non-standard exception";
+                    }
+                    channel.put(pos, std::move(cell));
+                }
+            }
+            channel.producerDone();
+        });
+
+        std::size_t committed = 0;
+        bool stopRequested = false;
+        for (;;) {
+            // Cooperative stop, honoured between commits: stop
+            // handing out chunks; claimed chunks drain into the
+            // window and are committed below.
+            if (!stopRequested && stopping()) {
+                stopRequested = true;
+                chunker.stop();
+            }
+            auto cell = channel.take();
+            if (!cell)
+                break;
+            commit(*cell);
+            ++committed;
+        }
+        pool.wait();
+        if (committed < pending.size())
+            run.interrupted = true;
     }
 
     if (writer)

@@ -99,6 +99,24 @@ struct SupervisorConfig
      *  so replay can rebuild the workload. */
     double scale = 1.0;
 
+    /**
+     * Worker threads executing trials: 1 runs the classic serial
+     * loop, 0 uses every hardware thread, N uses N workers. Trials
+     * execute out of order across workers, but outcomes are
+     * accumulated and journaled strictly in index order, so the
+     * journal bytes and the CampaignResult are identical for every
+     * value of this knob (see docs/performance.md).
+     */
+    unsigned jobs = 1;
+
+    /**
+     * Reuse process-cached golden runs (see cachedGoldenRun). Only
+     * safe when (workload name, precision, scale, inputSeed) fully
+     * identifies the workload — true for factory-made workloads with
+     * this config's scale; leave off for hand-built ones.
+     */
+    bool useGoldenCache = false;
+
     /** Install SIGINT/SIGTERM handlers for the duration of the run
      *  (flush journal + print resume hint). CLI front-ends enable
      *  this; library/test embeddings usually leave it off. */
@@ -164,12 +182,16 @@ struct SupervisedCampaign
 /**
  * Build the per-trial runner for any campaign kind (the supervisor's
  * and the replay tool's common factory).
+ *
+ * @param golden Optional pre-computed golden run to share (the
+ *               golden-run cache); null recomputes it.
  */
 std::unique_ptr<TrialRunner>
 makeTrialRunner(workloads::Workload &w, CampaignKind kind,
                 const CampaignConfig &config,
                 fp::OpKind kind_filter = fp::OpKind::NumKinds,
-                const std::vector<EngineAllocation> &engines = {});
+                const std::vector<EngineAllocation> &engines = {},
+                std::shared_ptr<const GoldenRun> golden = nullptr);
 
 /**
  * Run one campaign under supervision.

@@ -78,10 +78,10 @@ overflowResult(Format f, Rounding mode, bool sign)
 } // namespace
 
 std::uint64_t
-roundPack(Format f, RawFloat raw, FpContext *ctx, OpKind op)
+roundPack(Format f, RawFloat raw, const OpCtx &ctx, OpKind op)
 {
     const Rounding mode =
-        ctx ? ctx->rounding : Rounding::NearestEven;
+        ctx.rounding();
     // Normalisation target: hidden bit at manBits + 3 leaves three
     // guard/round/sticky positions below the kept significand.
     const int norm_pos = static_cast<int>(f.manBits) + 3;
@@ -165,7 +165,7 @@ namespace {
 std::uint64_t
 addCore(Format f, std::uint64_t a, std::uint64_t b, OpKind op)
 {
-    FpContext *ctx = detail::noteOp(op);
+    const OpCtx ctx = detail::enterOp(op);
     a = detail::touch(ctx, op, Stage::OperandA, f.totalBits, a) &
         f.valueMask();
     b = detail::touch(ctx, op, Stage::OperandB, f.totalBits, b) &
@@ -185,7 +185,7 @@ addCore(Format f, std::uint64_t a, std::uint64_t b, OpKind op)
     if (cb == FpClass::Inf)
         return b;
 
-    const Rounding mode = ctx ? ctx->rounding : Rounding::NearestEven;
+    const Rounding mode = ctx.rounding();
     Unpacked ua = unpackFinite(f, a);
     Unpacked ub = unpackFinite(f, b);
     if (ua.sig == 0 && ub.sig == 0) {
@@ -248,7 +248,7 @@ std::uint64_t
 fpMul(Format f, std::uint64_t a, std::uint64_t b)
 {
     const OpKind op = OpKind::Mul;
-    FpContext *ctx = detail::noteOp(op);
+    const OpCtx ctx = detail::enterOp(op);
     a = detail::touch(ctx, op, Stage::OperandA, f.totalBits, a) &
         f.valueMask();
     b = detail::touch(ctx, op, Stage::OperandB, f.totalBits, b) &

@@ -20,7 +20,7 @@ namespace {
 
 /** Conversion body shared by the instrumented and silent variants. */
 std::uint64_t
-convertCore(Format dst, Format src, std::uint64_t a, FpContext *ctx,
+convertCore(Format dst, Format src, std::uint64_t a, const OpCtx &ctx,
             bool instrumented)
 {
     if (instrumented) {
@@ -40,7 +40,7 @@ convertCore(Format dst, Format src, std::uint64_t a, FpContext *ctx,
     // Keep three guard bits so narrowing rounds correctly; widening
     // is exact and the guards stay zero.
     return roundPack(dst, {ua.sign, ua.exp - 3, ua.sig << 3},
-                     instrumented ? ctx : nullptr, OpKind::Convert);
+                     instrumented ? ctx : OpCtx{}, OpKind::Convert);
 }
 
 } // namespace
@@ -48,20 +48,20 @@ convertCore(Format dst, Format src, std::uint64_t a, FpContext *ctx,
 std::uint64_t
 fpConvert(Format dst, Format src, std::uint64_t a)
 {
-    FpContext *ctx = detail::noteOp(OpKind::Convert);
+    const OpCtx ctx = detail::enterOp(OpKind::Convert);
     return convertCore(dst, src, a, ctx, true);
 }
 
 std::uint64_t
 fpConvertSilent(Format dst, Format src, std::uint64_t a)
 {
-    return convertCore(dst, src, a, nullptr, false);
+    return convertCore(dst, src, a, OpCtx{}, false);
 }
 
 std::uint64_t
 fpFromInt(Format f, std::int64_t v)
 {
-    FpContext *ctx = detail::noteOp(OpKind::Convert);
+    const OpCtx ctx = detail::enterOp(OpKind::Convert);
     if (v == 0)
         return zero(f, false);
     const bool sign = v < 0;

@@ -18,7 +18,7 @@ std::uint64_t
 fpDiv(Format f, std::uint64_t a, std::uint64_t b)
 {
     const OpKind op = OpKind::Div;
-    FpContext *ctx = detail::noteOp(op);
+    const OpCtx ctx = detail::enterOp(op);
     a = detail::touch(ctx, op, Stage::OperandA, f.totalBits, a) &
         f.valueMask();
     b = detail::touch(ctx, op, Stage::OperandB, f.totalBits, b) &
@@ -80,7 +80,7 @@ std::uint64_t
 fpSqrt(Format f, std::uint64_t a)
 {
     const OpKind op = OpKind::Sqrt;
-    FpContext *ctx = detail::noteOp(op);
+    const OpCtx ctx = detail::enterOp(op);
     a = detail::touch(ctx, op, Stage::OperandA, f.totalBits, a) &
         f.valueMask();
 

@@ -24,7 +24,7 @@ std::uint64_t
 fpFma(Format f, std::uint64_t a, std::uint64_t b, std::uint64_t c)
 {
     const OpKind op = OpKind::Fma;
-    FpContext *ctx = detail::noteOp(op);
+    const OpCtx ctx = detail::enterOp(op);
     a = detail::touch(ctx, op, Stage::OperandA, f.totalBits, a) &
         f.valueMask();
     b = detail::touch(ctx, op, Stage::OperandB, f.totalBits, b) &
@@ -64,7 +64,7 @@ fpFma(Format f, std::uint64_t a, std::uint64_t b, std::uint64_t c)
                            ? 2u * (f.manBits + 1u) - 64u : 1u, hi);
     prod = (static_cast<U128>(hi) << 64) | lo;
 
-    const Rounding mode = ctx ? ctx->rounding : Rounding::NearestEven;
+    const Rounding mode = ctx.rounding();
     if (prod == 0) {
         if (uc.sig == 0) {
             if (prod_sign == uc.sign)

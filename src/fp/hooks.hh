@@ -153,19 +153,50 @@ class FpEnvGuard
     FpContext *saved_;
 };
 
+/**
+ * Per-operation dispatch state, captured once at op entry.
+ *
+ * The softfloat fast path: whether a hook is installed is decided by
+ * a single branch in detail::enterOp() instead of one branch plus a
+ * hook-pointer load at every datapath stage. Golden runs and the
+ * un-struck majority of each trial's operations run with
+ * hooked == nullptr, so every touch() reduces to a no-op compare.
+ * `ctx` is kept separately because the rounding mode must be honoured
+ * even when no hook is installed.
+ */
+struct OpCtx
+{
+    FpContext *ctx = nullptr;     ///< counters + rounding, or null
+    FpContext *hooked = nullptr;  ///< == ctx iff a hook is installed
+
+    Rounding
+    rounding() const
+    {
+        return ctx ? ctx->rounding : Rounding::NearestEven;
+    }
+};
+
 namespace detail {
 
 /** Record one op in the current context and return it (or nullptr). */
 FpContext *noteOp(OpKind op);
 
+/** Count one op and capture the hook-dispatch state for its stages. */
+inline OpCtx
+enterOp(OpKind op)
+{
+    FpContext *ctx = noteOp(op);
+    return {ctx, (ctx && ctx->hook) ? ctx : nullptr};
+}
+
 /** Run the context hook for @p stage, if any. */
 inline std::uint64_t
-touch(FpContext *ctx, OpKind op, Stage stage, unsigned width,
+touch(const OpCtx &oc, OpKind op, Stage stage, unsigned width,
       std::uint64_t value)
 {
-    if (ctx && ctx->hook)
-        return ctx->hook->perturb(op, stage, width, value);
-    return value;
+    if (oc.hooked == nullptr) [[likely]]
+        return value;
+    return oc.hooked->hook->perturb(op, stage, width, value);
 }
 
 } // namespace detail

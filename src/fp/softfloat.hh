@@ -138,7 +138,7 @@ struct RawFloat
  * normalisation point, so left-shifts inside roundPack never promote
  * a sticky bit into a value position.
  */
-std::uint64_t roundPack(Format f, RawFloat raw, FpContext *ctx,
+std::uint64_t roundPack(Format f, RawFloat raw, const OpCtx &ctx,
                         OpKind op);
 
 /**

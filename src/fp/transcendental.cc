@@ -79,7 +79,7 @@ std::uint64_t
 fpExp(Format f, std::uint64_t a)
 {
     const OpKind op = OpKind::Exp;
-    FpContext *ctx = detail::noteOp(op);
+    const OpCtx ctx = detail::enterOp(op);
     a = detail::touch(ctx, op, Stage::OperandA, f.totalBits, a) &
         f.valueMask();
 
@@ -143,7 +143,7 @@ std::uint64_t
 fpLog(Format f, std::uint64_t a)
 {
     const OpKind op = OpKind::Exp;  // transcendental-unit op class
-    FpContext *ctx = detail::noteOp(op);
+    const OpCtx ctx = detail::enterOp(op);
     a = detail::touch(ctx, op, Stage::OperandA, f.totalBits, a) &
         f.valueMask();
 

@@ -50,6 +50,12 @@ class AbftMxMWorkload : public workloads::Workload
 
     fp::Precision precision() const override { return P; }
 
+    std::unique_ptr<workloads::Workload>
+    clone() const override
+    {
+        return std::make_unique<AbftMxMWorkload<P>>(*this);
+    }
+
     /** Matrix dimension. */
     std::size_t dim() const { return n_; }
 

@@ -31,6 +31,21 @@ ReplicatedWorkload::name() const
     return replicas_[0]->name() + "-" + redundancyName(scheme_);
 }
 
+std::unique_ptr<Workload>
+ReplicatedWorkload::clone() const
+{
+    std::vector<WorkloadPtr> copies;
+    copies.reserve(replicas_.size());
+    for (const auto &r : replicas_)
+        copies.push_back(r->clone());
+    auto copy = std::make_unique<ReplicatedWorkload>(scheme_,
+                                                     std::move(copies));
+    copy->voted_ = voted_;
+    copy->detected_ = detected_;
+    copy->corrections_ = corrections_;
+    return copy;
+}
+
 fp::Precision
 ReplicatedWorkload::precision() const
 {

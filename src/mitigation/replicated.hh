@@ -60,6 +60,7 @@ class ReplicatedWorkload : public workloads::Workload
                        std::vector<workloads::WorkloadPtr> replicas);
 
     std::string name() const override;
+    std::unique_ptr<workloads::Workload> clone() const override;
     fp::Precision precision() const override;
     void reset(std::uint64_t input_seed) override;
     void execute(workloads::ExecutionEnv &env) override;

@@ -55,6 +55,12 @@ class MnistWorkload : public Workload
 
     fp::Precision precision() const override { return P; }
 
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<MnistWorkload<P>>(*this);
+    }
+
     /** Images per execution. */
     std::size_t batch() const { return batch_; }
 
@@ -189,6 +195,12 @@ class YoliteWorkload : public Workload
     std::string name() const override { return "yolite"; }
 
     fp::Precision precision() const override { return P; }
+
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<YoliteWorkload<P>>(*this);
+    }
 
     /** Scenes per execution. */
     std::size_t batch() const { return batch_; }

@@ -48,6 +48,12 @@ class HotspotWorkload : public Workload
 
     fp::Precision precision() const override { return P; }
 
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<HotspotWorkload<P>>(*this);
+    }
+
     /** Grid side length. */
     std::size_t dim() const { return n_; }
 

@@ -54,6 +54,12 @@ class LavaMDWorkload : public Workload
 
     fp::Precision precision() const override { return P; }
 
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<LavaMDWorkload<P>>(*this);
+    }
+
     /** Number of boxes in the periodic grid. */
     std::size_t boxCount() const { return grid_ * grid_ * grid_; }
 

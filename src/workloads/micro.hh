@@ -66,6 +66,12 @@ class MicroWorkload : public Workload
 
     fp::Precision precision() const override { return P; }
 
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<MicroWorkload<P>>(*this);
+    }
+
     /** Iterations per simulated thread. */
     std::size_t iterations() const { return iters_; }
 

@@ -40,6 +40,12 @@ class MxMWorkload : public Workload
 
     fp::Precision precision() const override { return P; }
 
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<MxMWorkload<P>>(*this);
+    }
+
     /** Matrix dimension. */
     std::size_t dim() const { return n_; }
 

@@ -42,6 +42,12 @@ class MxMMixedWorkload : public Workload
 
     std::string name() const override { return "mxm-mixed"; }
 
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<MxMMixedWorkload>(*this);
+    }
+
     /** The compute (accumulation) precision. */
     fp::Precision
     precision() const override

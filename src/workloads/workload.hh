@@ -197,6 +197,15 @@ class Workload
     /** Benchmark name ("mxm", "lavamd", ...). */
     virtual std::string name() const = 0;
 
+    /**
+     * Deep copy of this workload, buffers and all, so parallel
+     * campaign workers can each own an isolated instance. Clones of
+     * the same workload must behave bit-identically under identical
+     * reset()/execute() sequences (all concrete workloads are
+     * value-semantic, so the copy constructor satisfies this).
+     */
+    virtual std::unique_ptr<Workload> clone() const = 0;
+
     /** Data/operation precision this instance runs at. */
     virtual fp::Precision precision() const = 0;
 

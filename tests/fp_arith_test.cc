@@ -309,7 +309,7 @@ refHalfFma(std::uint64_t a, std::uint64_t b, std::uint64_t c)
     }
     return roundPack(kHalf,
                      {neg, exp, static_cast<std::uint64_t>(mag)},
-                     nullptr, OpKind::Fma);
+                     OpCtx{}, OpKind::Fma);
 }
 
 TEST(FpHalfOps, FmaMatchesExactReference)

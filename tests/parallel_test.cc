@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Tests for the parallel campaign engine: the executor primitives
+ * (thread pool, index chunker, ordered channel), clone isolation for
+ * every registered workload, parallel-vs-serial bit-exactness for
+ * all three campaign kinds, the golden-run cache, and
+ * kill-and-resume under a multi-threaded run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/fpga/fpga.hh"
+#include "common/parallel.hh"
+#include "fault/campaign.hh"
+#include "fault/supervisor.hh"
+#include "mitigation/abft.hh"
+#include "mitigation/replicated.hh"
+#include "nn/nn_workloads.hh"
+#include "workloads/workload.hh"
+
+namespace mparch {
+namespace {
+
+using fault::CampaignConfig;
+using fault::CampaignKind;
+using fault::EngineAllocation;
+using fault::GoldenRun;
+using fault::runSupervisedCampaign;
+using fault::SupervisedCampaign;
+using fault::SupervisorConfig;
+using fp::Precision;
+using workloads::makeWorkload;
+using workloads::Workload;
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::path(::testing::TempDir()) / name)
+        .string();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Tally-level equality (corpus and anatomy compared element-wise). */
+void
+expectSameResult(const fault::CampaignResult &a,
+                 const fault::CampaignResult &b)
+{
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.due, b.due);
+    EXPECT_EQ(a.detected, b.detected);
+    ASSERT_EQ(a.corpus.size(), b.corpus.size());
+    for (std::size_t i = 0; i < a.corpus.size(); ++i) {
+        EXPECT_EQ(a.corpus[i].maxRel, b.corpus[i].maxRel);
+        EXPECT_EQ(a.corpus[i].corruptedFraction,
+                  b.corpus[i].corruptedFraction);
+        EXPECT_EQ(a.corpus[i].severity, b.corpus[i].severity);
+    }
+    ASSERT_EQ(a.anatomy.size(), b.anatomy.size());
+    for (std::size_t i = 0; i < a.anatomy.size(); ++i) {
+        EXPECT_EQ(a.anatomy[i].bit, b.anatomy[i].bit);
+        EXPECT_EQ(a.anatomy[i].field, b.anatomy[i].field);
+        EXPECT_EQ(a.anatomy[i].outcome, b.anatomy[i].outcome);
+    }
+}
+
+// ---------------------------------------------------------------
+// Executor primitives.
+// ---------------------------------------------------------------
+
+TEST(ThreadPoolTest, EveryWorkerRunsEachGeneration)
+{
+    parallel::ThreadPool pool(4);
+    ASSERT_EQ(pool.workers(), 4u);
+    std::atomic<int> ran{0};
+    pool.run([&](unsigned) { ++ran; });
+    EXPECT_EQ(ran.load(), 4);
+    // The pool is reusable: a second generation runs on the same
+    // threads.
+    pool.run([&](unsigned) { ++ran; });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolTest, StartReturnsBeforeCompletion)
+{
+    // start() must not block the caller: the calling thread acts as
+    // the consumer while workers produce. The workers here wait for
+    // a token only the caller can provide after start() returned.
+    parallel::ThreadPool pool(2);
+    std::atomic<bool> go{false};
+    std::atomic<int> ran{0};
+    pool.start([&](unsigned) {
+        while (!go.load())
+            std::this_thread::yield();
+        ++ran;
+    });
+    go.store(true);
+    pool.wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(IndexChunkerTest, CoversRangeExactlyOnceAcrossThreads)
+{
+    constexpr std::uint64_t kCount = 1000;
+    parallel::IndexChunker chunker(kCount, 7);
+    std::vector<std::atomic<int>> hits(kCount);
+    parallel::ThreadPool pool(4);
+    pool.run([&](unsigned) {
+        std::uint64_t begin = 0, end = 0;
+        while (chunker.next(begin, end))
+            for (std::uint64_t i = begin; i < end; ++i)
+                ++hits[i];
+    });
+    for (std::uint64_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(IndexChunkerTest, StopLeavesContiguousPrefix)
+{
+    parallel::IndexChunker chunker(100, 8);
+    std::uint64_t begin = 0, end = 0;
+    std::uint64_t last_end = 0;
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(chunker.next(begin, end));
+        EXPECT_EQ(begin, last_end);  // chunks in increasing order
+        last_end = end;
+    }
+    chunker.stop();
+    EXPECT_TRUE(chunker.stopped());
+    EXPECT_FALSE(chunker.next(begin, end));
+    EXPECT_EQ(last_end, 24u);  // claimed set is exactly [0, 24)
+}
+
+TEST(OrderedChannelTest, DeliversInOrderUnderConcurrentProducers)
+{
+    constexpr std::uint64_t kCount = 500;
+    parallel::IndexChunker chunker(kCount, 3);
+    parallel::OrderedChannel<std::uint64_t> channel(/*capacity=*/32,
+                                                    /*producers=*/4);
+    parallel::ThreadPool pool(4);
+    pool.start([&](unsigned) {
+        std::uint64_t begin = 0, end = 0;
+        while (chunker.next(begin, end))
+            for (std::uint64_t i = begin; i < end; ++i)
+                channel.put(i, i * 2 + 1);
+        channel.producerDone();
+    });
+    std::uint64_t expected = 0;
+    while (auto value = channel.take()) {
+        EXPECT_EQ(*value, expected * 2 + 1);
+        ++expected;
+    }
+    pool.wait();
+    EXPECT_EQ(expected, kCount);
+    // The stream stays closed.
+    EXPECT_FALSE(channel.take().has_value());
+}
+
+TEST(ResolveJobsTest, ZeroMeansAllHardwareThreads)
+{
+    EXPECT_GE(parallel::hardwareJobs(), 1u);
+    EXPECT_EQ(parallel::resolveJobs(0), parallel::hardwareJobs());
+    EXPECT_EQ(parallel::resolveJobs(1), 1u);
+    EXPECT_EQ(parallel::resolveJobs(5), 5u);
+}
+
+// ---------------------------------------------------------------
+// Workload cloning.
+// ---------------------------------------------------------------
+
+std::vector<std::uint64_t>
+snapshotOutput(Workload &w)
+{
+    auto view = w.output();
+    std::vector<std::uint64_t> bits(view.count);
+    for (std::size_t i = 0; i < view.count; ++i)
+        bits[i] = view.get(i);
+    return bits;
+}
+
+/**
+ * A clone must deep-copy: it reproduces the original's behavior
+ * bit-for-bit, and running the original afterwards must not disturb
+ * the clone's state (no shared storage).
+ */
+void
+expectCloneIsolated(Workload &w)
+{
+    SCOPED_TRACE(w.name());
+    const GoldenRun golden(w, /*input_seed=*/42);
+    auto clone = w.clone();
+    ASSERT_NE(clone, nullptr);
+    EXPECT_EQ(clone->name(), w.name());
+    EXPECT_EQ(clone->precision(), w.precision());
+    // The clone carries the original's post-execution state.
+    const auto before = snapshotOutput(*clone);
+    EXPECT_EQ(before, snapshotOutput(w));
+    // Mutating the original leaves the clone untouched.
+    const GoldenRun perturbed(w, /*input_seed=*/43);
+    EXPECT_EQ(snapshotOutput(*clone), before);
+    // The clone replays the original's run bit-identically.
+    const GoldenRun replay(*clone, /*input_seed=*/42);
+    EXPECT_EQ(replay.outputBits, golden.outputBits);
+    EXPECT_EQ(replay.ticks, golden.ticks);
+}
+
+TEST(CloneTest, EveryFactoryWorkloadClonesIsolated)
+{
+    const char *names[] = {"mxm",       "mxm-mixed", "lavamd",
+                           "hotspot",   "lud",       "micro-add",
+                           "micro-mul", "micro-fma", "mnist",
+                           "yolite"};
+    for (const char *name : names) {
+        auto w = nn::makeAnyWorkload(name, Precision::Single, 0.05);
+        expectCloneIsolated(*w);
+    }
+}
+
+TEST(CloneTest, MitigationWorkloadsCloneIsolated)
+{
+    using mitigation::Redundancy;
+    for (Redundancy scheme : {Redundancy::Dwc, Redundancy::Tmr}) {
+        std::vector<workloads::WorkloadPtr> replicas;
+        const std::size_t n =
+            scheme == Redundancy::Dwc ? 2 : 3;
+        for (std::size_t i = 0; i < n; ++i)
+            replicas.push_back(
+                makeWorkload("micro-add", Precision::Single, 0.1));
+        mitigation::ReplicatedWorkload w(scheme,
+                                         std::move(replicas));
+        expectCloneIsolated(w);
+    }
+    mitigation::AbftMxMWorkload<Precision::Single> abft(0.05);
+    expectCloneIsolated(abft);
+}
+
+// ---------------------------------------------------------------
+// Parallel campaigns: bit-exactness against the serial loop.
+// ---------------------------------------------------------------
+
+SupervisedCampaign
+runWithJobs(Workload &w, CampaignKind kind,
+            const CampaignConfig &config, unsigned jobs,
+            const std::string &journal,
+            const std::vector<EngineAllocation> &engines = {})
+{
+    SupervisorConfig supervisor;
+    supervisor.jobs = jobs;
+    supervisor.journalPath = journal;
+    return runSupervisedCampaign(w, kind, config, supervisor,
+                                 fp::OpKind::NumKinds, engines);
+}
+
+void
+expectParallelMatchesSerial(Workload &w, CampaignKind kind,
+                            const CampaignConfig &config,
+                            const std::vector<EngineAllocation>
+                                &engines = {})
+{
+    const std::string serial_path = tempPath("par-serial.mpj");
+    const std::string parallel_path = tempPath("par-jobs4.mpj");
+    const auto serial =
+        runWithJobs(w, kind, config, 1, serial_path, engines);
+    const auto parallel =
+        runWithJobs(w, kind, config, 4, parallel_path, engines);
+    ASSERT_TRUE(serial.error.empty()) << serial.error;
+    ASSERT_TRUE(parallel.error.empty()) << parallel.error;
+    EXPECT_FALSE(parallel.interrupted);
+    EXPECT_EQ(parallel.planned, serial.planned);
+    EXPECT_EQ(parallel.retried, serial.retried);
+    EXPECT_EQ(parallel.poisoned, serial.poisoned);
+    expectSameResult(parallel.result, serial.result);
+    // The strongest statement: the journals agree byte for byte.
+    EXPECT_EQ(slurp(parallel_path), slurp(serial_path));
+}
+
+TEST(ParallelCampaignTest, MemoryCampaignMatchesSerialBitExactly)
+{
+    auto w = makeWorkload("mxm", Precision::Single, 0.1);
+    CampaignConfig config;
+    config.trials = 80;
+    config.seed = 3;
+    config.recordAnatomy = true;
+    expectParallelMatchesSerial(*w, CampaignKind::Memory, config);
+}
+
+TEST(ParallelCampaignTest, DatapathCampaignMatchesSerialBitExactly)
+{
+    auto w = makeWorkload("lud", Precision::Single, 0.1);
+    CampaignConfig config;
+    config.trials = 60;
+    config.seed = 11;
+    expectParallelMatchesSerial(*w, CampaignKind::Datapath, config);
+}
+
+TEST(ParallelCampaignTest, PersistentCampaignMatchesSerialBitExactly)
+{
+    auto w = makeWorkload("mxm", Precision::Single, 0.1);
+    CampaignConfig config;
+    config.trials = 50;
+    config.seed = 17;
+    // Realistic engine allocations from the FPGA synthesis model.
+    const GoldenRun golden(*w, config.inputSeed);
+    const auto circuit = fpga::synthesize(*w, golden);
+    ASSERT_FALSE(circuit.engines.empty());
+    expectParallelMatchesSerial(*w, CampaignKind::Persistent, config,
+                                circuit.engines);
+}
+
+TEST(ParallelCampaignTest, ManyWorkersOnTinyCampaign)
+{
+    // More workers than trials: the executor must not deadlock or
+    // duplicate work when most workers find the chunker drained.
+    auto w = makeWorkload("micro-add", Precision::Single, 0.1);
+    CampaignConfig config;
+    config.trials = 3;
+    config.seed = 2;
+    const auto serial = runWithJobs(*w, CampaignKind::Memory, config,
+                                    1, tempPath("tiny-serial.mpj"));
+    const auto wide = runWithJobs(*w, CampaignKind::Memory, config,
+                                  8, tempPath("tiny-wide.mpj"));
+    ASSERT_TRUE(wide.error.empty()) << wide.error;
+    expectSameResult(wide.result, serial.result);
+}
+
+// ---------------------------------------------------------------
+// Golden-run cache.
+// ---------------------------------------------------------------
+
+TEST(GoldenCacheTest, SharedByKeyAndDistinctAcrossKeys)
+{
+    fault::clearGoldenRunCache();
+    auto w = makeWorkload("micro-add", Precision::Single, 0.1);
+    const auto a = fault::cachedGoldenRun(*w, 99, 0.1);
+    const auto b = fault::cachedGoldenRun(*w, 99, 0.1);
+    EXPECT_EQ(a.get(), b.get());  // one reference execution
+    const auto other_seed = fault::cachedGoldenRun(*w, 100, 0.1);
+    EXPECT_NE(a.get(), other_seed.get());
+    const auto other_scale = fault::cachedGoldenRun(*w, 99, 0.2);
+    EXPECT_NE(a.get(), other_scale.get());
+    // The cached run equals a fresh one (the cache only spares the
+    // recomputation, never changes the reference).
+    const GoldenRun fresh(*w, 99);
+    EXPECT_EQ(a->outputBits, fresh.outputBits);
+    EXPECT_EQ(a->ticks, fresh.ticks);
+    fault::clearGoldenRunCache();
+}
+
+TEST(GoldenCacheTest, CachedCampaignMatchesUncached)
+{
+    fault::clearGoldenRunCache();
+    auto w = makeWorkload("mxm", Precision::Single, 0.1);
+    CampaignConfig config;
+    config.trials = 40;
+    config.seed = 5;
+    SupervisorConfig plain;
+    plain.scale = 0.1;
+    SupervisorConfig cached = plain;
+    cached.useGoldenCache = true;
+    const auto a = runSupervisedCampaign(*w, CampaignKind::Memory,
+                                         config, plain);
+    const auto b = runSupervisedCampaign(*w, CampaignKind::Memory,
+                                         config, cached);
+    const auto c = runSupervisedCampaign(*w, CampaignKind::Memory,
+                                         config, cached);
+    expectSameResult(b.result, a.result);
+    expectSameResult(c.result, a.result);
+    fault::clearGoldenRunCache();
+}
+
+// ---------------------------------------------------------------
+// Trial descriptions stay off the hot path.
+// ---------------------------------------------------------------
+
+TEST(ParallelCampaignTest, DescriptionsOnlyWhenRequested)
+{
+    auto w = makeWorkload("micro-add", Precision::Single, 0.1);
+    CampaignConfig config;
+    config.trials = 4;
+    auto runner =
+        fault::makeTrialRunner(*w, CampaignKind::Memory, config);
+    EXPECT_TRUE(runner->runTrial(0, false).description.empty());
+    EXPECT_FALSE(runner->runTrial(0, true).description.empty());
+}
+
+// ---------------------------------------------------------------
+// Cooperative stop and resume under a parallel run.
+// ---------------------------------------------------------------
+
+TEST(ParallelCampaignTest, StopAndResumeUnderJobs4MatchesOneShot)
+{
+    auto w = makeWorkload("micro-add", Precision::Single, 0.1);
+    CampaignConfig config;
+    config.trials = 1500;
+    config.seed = 5;
+    config.recordAnatomy = true;
+
+    const std::string oneshot_path = tempPath("par-oneshot.mpj");
+    const auto whole = runWithJobs(*w, CampaignKind::Memory, config,
+                                   1, oneshot_path);
+    ASSERT_TRUE(whole.error.empty()) << whole.error;
+
+    // First run: stop after a few supervisor polls. The executor
+    // drains in-flight trials, journals the contiguous prefix and
+    // reports the run as interrupted.
+    const std::string path = tempPath("par-resume.mpj");
+    SupervisorConfig first;
+    first.journalPath = path;
+    first.jobs = 4;
+    std::atomic<int> polls{0};
+    first.shouldStop = [&polls] { return ++polls > 2; };
+    const auto partial = runSupervisedCampaign(
+        *w, CampaignKind::Memory, config, first);
+    ASSERT_TRUE(partial.error.empty()) << partial.error;
+    EXPECT_TRUE(partial.interrupted);
+    EXPECT_LT(partial.result.trials, config.trials);
+
+    // Second run resumes the journal, still with 4 workers, and must
+    // land exactly on the one-shot result and journal bytes.
+    SupervisorConfig second;
+    second.journalPath = path;
+    second.jobs = 4;
+    second.resume = true;
+    const auto resumed = runSupervisedCampaign(
+        *w, CampaignKind::Memory, config, second);
+    ASSERT_TRUE(resumed.error.empty()) << resumed.error;
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.resumed, partial.result.trials);
+    EXPECT_EQ(resumed.result.trials, config.trials);
+    expectSameResult(resumed.result, whole.result);
+    EXPECT_EQ(slurp(path), slurp(oneshot_path));
+}
+
+} // namespace
+} // namespace mparch

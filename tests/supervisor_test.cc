@@ -95,6 +95,12 @@ class ToyWorkload : public Workload
     std::string name() const override { return "toy"; }
     Precision precision() const override { return Precision::Single; }
 
+    std::unique_ptr<Workload>
+    clone() const override
+    {
+        return std::make_unique<ToyWorkload>(*this);
+    }
+
     void
     reset(std::uint64_t) override
     {
