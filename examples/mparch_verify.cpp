@@ -1,0 +1,345 @@
+/**
+ * @file
+ * mparch_verify — differential-oracle frontend for the softfloat core.
+ *
+ * Subcommands:
+ *
+ *   quick [--corpus DIR] [--trials N] [--seed S] [--jobs N]
+ *     The regression gate: replay the persisted counterexample corpus,
+ *     run the exhaustive binary16 unary sweeps (sqrt/exp/log and the
+ *     half->single/double/bfloat16 conversions), then fuzz every
+ *     memory format with N trials each (default 10^6, fixed seed).
+ *
+ *   sweep --op OP --format F [--dst D] [--samples N] [--seed S]
+ *         [--jobs N] [--no-props] [--no-monotone] [--max-report N]
+ *     Sweep one operation. With --samples 0 (the default) the sweep
+ *     is exhaustive: all operand pairs for binary ops (16-bit formats
+ *     only), all inputs for unary ops and conversions. OP is one of
+ *     add sub mul div sqrt exp log convert; convert needs --dst.
+ *
+ *   fuzz --format F [--trials N] [--seed S] [--jobs N] [--ops LIST]
+ *     Property-based fuzzing of one format. LIST is comma-separated
+ *     op names (default: all ops).
+ *
+ *   corpus [--corpus DIR]
+ *     Replay the regression corpus alone.
+ *
+ *   check --op OP --format F [--dst D] --a HEX [--b HEX] [--c HEX]
+ *     Run a single case through production code and every oracle,
+ *     verbosely. This is the command mismatch reports print.
+ *
+ * Exit code 0 when everything agrees, 1 on any mismatch (or usage
+ * error via fatal()).
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "fp/softfloat.hh"
+#include "verify/verify.hh"
+
+namespace {
+
+using namespace mparch;
+using verify::Case;
+using verify::VOp;
+
+/** Minimal --flag [value] parser (same idiom as mparch_cli). */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            if (argv[i][0] != '-' || argv[i][1] != '-')
+                fatal("expected --flag, got '", argv[i], "'");
+            const std::string key = argv[i] + 2;
+            if (i + 1 < argc &&
+                std::strncmp(argv[i + 1], "--", 2) != 0) {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "1";
+            }
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    std::uint64_t
+    getU64(const std::string &key, std::uint64_t fallback) const
+    {
+        const auto it = values_.find(key);
+        if (it == values_.end())
+            return fallback;
+        return std::strtoull(it->second.c_str(), nullptr, 0);
+    }
+
+    bool
+    getFlag(const std::string &key) const
+    {
+        return values_.count(key) != 0;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return values_.count(key) != 0;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+fp::Format
+requireFormat(const Args &args, const std::string &key)
+{
+    const std::string name = args.get(key, "");
+    if (name.empty())
+        fatal("missing --", key);
+    const auto f = verify::parseFormat(name);
+    if (!f)
+        fatal("unknown format '", name, "'");
+    return *f;
+}
+
+VOp
+requireOp(const Args &args)
+{
+    const std::string name = args.get("op", "");
+    if (name.empty())
+        fatal("missing --op");
+    const auto op = verify::parseVOp(name);
+    if (!op)
+        fatal("unknown op '", name, "'");
+    return *op;
+}
+
+/** Default corpus location: source tree when run from a checkout. */
+std::string
+corpusDir(const Args &args)
+{
+    return args.get("corpus", "tests/data/fp_corpus");
+}
+
+int
+reportSweep(const std::string &what, const verify::SweepReport &report)
+{
+    std::cout << what << ": " << report.cases << " cases, "
+              << report.mismatches << " mismatches\n";
+    for (const verify::Mismatch &m : report.sample)
+        std::cout << verify::describeMismatch(m) << "\n";
+    return report.ok() ? 0 : 1;
+}
+
+int
+replayCorpus(const std::string &dir)
+{
+    const std::vector<Case> cases = verify::loadCorpusDir(dir);
+    verify::CheckOptions opts;
+    std::uint64_t mismatches = 0;
+    for (const Case &c : cases) {
+        std::vector<verify::Mismatch> found;
+        if (!verify::checkCase(c, opts, &found)) {
+            ++mismatches;
+            for (const verify::Mismatch &m : found)
+                std::cout << verify::describeMismatch(m) << "\n";
+        }
+    }
+    std::cout << "corpus: " << cases.size() << " cases from " << dir
+              << ", " << mismatches << " failing\n";
+    return mismatches == 0 ? 0 : 1;
+}
+
+int
+runFuzz(fp::Format f, const verify::FuzzConfig &cfg)
+{
+    const verify::FuzzReport report = verify::fuzzFormat(f, cfg);
+    std::cout << "fuzz " << verify::formatName(f) << ": "
+              << report.trials << " trials, " << report.failures
+              << " failures\n";
+    for (const verify::FuzzFailure &fail : report.sample) {
+        std::cout << "trial " << fail.trial << " (seed " << cfg.seed
+                  << "), shrunk from: "
+                  << verify::corpusLine(fail.original) << "\n";
+        for (const verify::Mismatch &m : fail.mismatches)
+            std::cout << verify::describeMismatch(m) << "\n";
+    }
+    return report.ok() ? 0 : 1;
+}
+
+int
+cmdQuick(const Args &args)
+{
+    const unsigned jobs =
+        static_cast<unsigned>(args.getU64("jobs", 0));
+    const std::uint64_t seed = args.getU64("seed", 1);
+    const std::uint64_t trials = args.getU64("trials", 1000000);
+
+    int rc = replayCorpus(corpusDir(args));
+
+    // Exhaustive binary16 unary coverage is cheap enough for the
+    // default tier; the 2^32 pair sweeps stay behind -L exhaustive.
+    verify::SweepConfig sweep;
+    sweep.jobs = jobs;
+    sweep.seed = seed;
+    for (VOp op : {VOp::Sqrt, VOp::Exp, VOp::Log}) {
+        std::string what =
+            std::string("sweep half ") + verify::vopName(op);
+        rc |= reportSweep(what, verify::sweepUnary(op, fp::kHalf,
+                                                   sweep));
+    }
+    for (fp::Format dst : {fp::kSingle, fp::kDouble, fp::kBfloat16}) {
+        std::string what = std::string("sweep convert half -> ") +
+                           verify::formatName(dst);
+        rc |= reportSweep(
+            what, verify::sweepConvert(fp::kHalf, dst, sweep));
+    }
+
+    verify::FuzzConfig fuzz;
+    fuzz.jobs = jobs;
+    fuzz.seed = seed;
+    fuzz.trials = trials;
+    for (fp::Format f :
+         {fp::kHalf, fp::kSingle, fp::kDouble, fp::kBfloat16})
+        rc |= runFuzz(f, fuzz);
+    return rc;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    const VOp op = requireOp(args);
+    const fp::Format f = requireFormat(args, "format");
+
+    verify::SweepConfig cfg;
+    cfg.jobs = static_cast<unsigned>(args.getU64("jobs", 0));
+    cfg.samples = args.getU64("samples", 0);
+    cfg.seed = args.getU64("seed", 1);
+    cfg.maxReport =
+        static_cast<std::size_t>(args.getU64("max-report", 32));
+    cfg.checkMonotone = !args.getFlag("no-monotone");
+    cfg.check.props = !args.getFlag("no-props");
+    cfg.check.prop.expUlpTol = static_cast<int>(
+        args.getU64("exp-tol", cfg.check.prop.expUlpTol));
+    cfg.check.prop.logUlpTol = static_cast<int>(
+        args.getU64("log-tol", cfg.check.prop.logUlpTol));
+
+    std::ostringstream what;
+    what << "sweep " << verify::formatName(f) << ' '
+         << verify::vopName(op);
+    if (op == VOp::Convert) {
+        const fp::Format dst = requireFormat(args, "dst");
+        what << " -> " << verify::formatName(dst);
+        return reportSweep(what.str(),
+                           verify::sweepConvert(f, dst, cfg));
+    }
+    if (verify::vopArity(op) == 2)
+        return reportSweep(what.str(), verify::sweepPairs(op, f, cfg));
+    return reportSweep(what.str(), verify::sweepUnary(op, f, cfg));
+}
+
+int
+cmdFuzz(const Args &args)
+{
+    const fp::Format f = requireFormat(args, "format");
+    verify::FuzzConfig cfg;
+    cfg.trials = args.getU64("trials", 1000000);
+    cfg.seed = args.getU64("seed", 1);
+    cfg.jobs = static_cast<unsigned>(args.getU64("jobs", 0));
+    const std::string ops = args.get("ops", "");
+    std::istringstream in(ops);
+    std::string name;
+    while (std::getline(in, name, ',')) {
+        const auto op = verify::parseVOp(name);
+        if (!op)
+            fatal("unknown op '", name, "'");
+        cfg.ops.push_back(*op);
+    }
+    return runFuzz(f, cfg);
+}
+
+int
+cmdCheck(const Args &args)
+{
+    Case c;
+    c.op = requireOp(args);
+    c.fmt = requireFormat(args, "format");
+    if (c.op == VOp::Convert)
+        c.dst = requireFormat(args, "dst");
+    if (!args.has("a"))
+        fatal("missing --a");
+    c.a = args.getU64("a", 0);
+    const unsigned arity = verify::vopArity(c.op);
+    if (arity >= 2) {
+        if (!args.has("b"))
+            fatal("missing --b");
+        c.b = args.getU64("b", 0);
+    }
+    if (arity >= 3) {
+        if (!args.has("c"))
+            fatal("missing --c");
+        c.c = args.getU64("c", 0);
+    }
+
+    const fp::Format rf = c.resultFormat();
+    const std::uint64_t got = verify::runProduction(c);
+    std::cout << "case:       " << verify::corpusLine(c) << "\n";
+    std::cout << "production: " << fp::fpDescribe(rf, got) << "\n";
+    const verify::OracleResult host = verify::hostOracle(c);
+    std::cout << "host:       "
+              << (host.supported ? fp::fpDescribe(rf, host.bits)
+                                 : std::string("(unsupported)"))
+              << "\n";
+    const verify::OracleResult exact = verify::exactOracle(c);
+    std::cout << "exact:      "
+              << (exact.supported ? fp::fpDescribe(rf, exact.bits)
+                                  : std::string("(unsupported)"))
+              << "\n";
+    std::vector<verify::Mismatch> found;
+    verify::CheckOptions opts;
+    const bool ok = verify::checkCase(c, opts, &found);
+    for (const verify::Mismatch &m : found)
+        std::cout << verify::describeMismatch(m) << "\n";
+    std::cout << (ok ? "agreement\n" : "MISMATCH\n");
+    return ok ? 0 : 1;
+}
+
+void
+usage()
+{
+    fatal("usage: mparch_verify quick|sweep|fuzz|corpus|check "
+          "[--flags]  (see file header for details)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "quick")
+        return cmdQuick(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
+    if (cmd == "fuzz")
+        return cmdFuzz(args);
+    if (cmd == "corpus")
+        return replayCorpus(corpusDir(args));
+    if (cmd == "check")
+        return cmdCheck(args);
+    usage();
+    return 1;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Regression-corpus file handling.
+ *
+ * The corpus under tests/data/fp_corpus/ is the fuzzer's long-term
+ * memory: every counterexample ever found (plus hand-picked hard
+ * cases) is stored as one text line and replayed at the start of
+ * every verify_quick run, so a fixed bug can never regress silently.
+ *
+ * Grammar, one case per line, '#' starts a comment:
+ *
+ *   <op> <format> <hex operand>...          add half 0x3c00 0x3c01
+ *   convert <src> <dst> <hex operand>       convert single half 0x3f801000
+ */
+
+#include "verify/verify.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mparch::verify {
+
+namespace {
+
+bool
+parseHex(const std::string &token, fp::Format f, std::uint64_t &out,
+         std::string *error)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(token.c_str(), &end, 16);
+    if (end == token.c_str() || *end != '\0' || errno == ERANGE) {
+        if (error)
+            *error = "bad hex operand '" + token + "'";
+        return false;
+    }
+    if ((v & ~f.valueMask()) != 0) {
+        if (error)
+            *error = "operand '" + token + "' exceeds the " +
+                     formatName(f) + " value mask";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+std::optional<Case>
+parseCorpusLine(std::string_view line, std::string *error)
+{
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos)
+        line = line.substr(0, hash);
+
+    std::istringstream in{std::string(line)};
+    std::string op_name;
+    if (!(in >> op_name))
+        return std::nullopt;  // blank/comment line: no case, no error
+
+    const std::optional<VOp> op = parseVOp(op_name);
+    if (!op) {
+        if (error)
+            *error = "unknown op '" + op_name + "'";
+        return std::nullopt;
+    }
+
+    Case c;
+    c.op = *op;
+    std::string fmt_name;
+    if (!(in >> fmt_name)) {
+        if (error)
+            *error = "missing format";
+        return std::nullopt;
+    }
+    const std::optional<fp::Format> fmt = parseFormat(fmt_name);
+    if (!fmt) {
+        if (error)
+            *error = "unknown format '" + fmt_name + "'";
+        return std::nullopt;
+    }
+    c.fmt = *fmt;
+
+    if (c.op == VOp::Convert) {
+        std::string dst_name;
+        if (!(in >> dst_name)) {
+            if (error)
+                *error = "convert needs a destination format";
+            return std::nullopt;
+        }
+        const std::optional<fp::Format> dst = parseFormat(dst_name);
+        if (!dst) {
+            if (error)
+                *error = "unknown format '" + dst_name + "'";
+            return std::nullopt;
+        }
+        c.dst = *dst;
+    }
+
+    const unsigned arity = vopArity(c.op);
+    for (unsigned i = 0; i < arity; ++i) {
+        std::string token;
+        if (!(in >> token)) {
+            if (error)
+                *error = std::string(vopName(c.op)) + " needs " +
+                         std::to_string(arity) + " operand(s)";
+            return std::nullopt;
+        }
+        std::uint64_t v = 0;
+        if (!parseHex(token, c.fmt, v, error))
+            return std::nullopt;
+        (i == 0 ? c.a : i == 1 ? c.b : c.c) = v;
+    }
+
+    std::string extra;
+    if (in >> extra) {
+        if (error)
+            *error = "trailing token '" + extra + "'";
+        return std::nullopt;
+    }
+    return c;
+}
+
+std::vector<Case>
+loadCorpusFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        fatal("cannot open corpus file: ", path);
+    std::vector<Case> cases;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string error;
+        const std::optional<Case> c = parseCorpusLine(line, &error);
+        if (c)
+            cases.push_back(*c);
+        else if (!error.empty())
+            fatal(path, ":", lineno, ": ", error);
+    }
+    return cases;
+}
+
+std::vector<Case>
+loadCorpusDir(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    if (!fs::is_directory(dir))
+        fatal("corpus directory missing: ", dir);
+    std::vector<fs::path> files;
+    for (const fs::directory_entry &entry : fs::directory_iterator(dir))
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".txt")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+
+    std::vector<Case> cases;
+    for (const fs::path &file : files) {
+        std::vector<Case> chunk = loadCorpusFile(file.string());
+        cases.insert(cases.end(), chunk.begin(), chunk.end());
+    }
+    return cases;
+}
+
+} // namespace mparch::verify

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared internals of the verification oracles.
+ *
+ * Not part of the public API; included by the verify .cc files and by
+ * white-box unit tests of the reference rounding step.
+ */
+
+#ifndef MPARCH_VERIFY_INTERNAL_HH
+#define MPARCH_VERIFY_INTERNAL_HH
+
+#include "verify/verify.hh"
+
+namespace mparch::verify::detail {
+
+using U128 = unsigned __int128;
+
+/**
+ * A finite operand decoded per the IEEE754 interchange encoding:
+ * value = (-1)^sign * mag * 2^exp, mag < 2^(manBits+1).
+ *
+ * This is the *definition* of the encoding, not an implementation
+ * choice shared with src/fp.
+ */
+struct Dec
+{
+    bool sign;
+    int exp;
+    std::uint64_t mag;
+};
+
+/** Decode a finite (zero/subnormal/normal) bit pattern. */
+Dec decodeBits(fp::Format f, std::uint64_t bits);
+
+/**
+ * The reference rounding step: round
+ *
+ *     value = (-1)^sign * (mag + r) * 2^exp
+ *
+ * to format @p f under round-to-nearest-even, where @p mag is an
+ * exact 128-bit integer and r is a remainder in [0, 1) known only to
+ * be zero (@p rest == false) or strictly positive (@p rest == true).
+ *
+ * Unlike the production roundPack there is no sticky jamming: the
+ * dropped bits are compared against the exact halfway point, and the
+ * sub-LSB remainder only ever breaks would-be ties. Callers must
+ * guarantee that when @p rest is set, at least one bit of @p mag is
+ * dropped (every oracle arranges its scaling so the rounded
+ * significand keeps >= 7 spare low bits).
+ */
+std::uint64_t roundExactRNE(fp::Format f, bool sign, U128 mag, int exp,
+                            bool rest);
+
+/** Index of the most significant set bit of a U128, or -1 for 0. */
+int highestSetBit128(U128 v);
+
+} // namespace mparch::verify::detail
+
+#endif // MPARCH_VERIFY_INTERNAL_HH

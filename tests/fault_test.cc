@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "fault/campaign.hh"
 #include "fault/hooks.hh"
@@ -379,6 +380,108 @@ TEST(FaultAnatomyTest, DisabledByDefault)
     config.trials = 50;
     const CampaignResult r = runMemoryCampaign(*w, config);
     EXPECT_TRUE(r.anatomy.empty());
+}
+
+// ---------------------------------------------------------------------
+// relativeDeviation edge cases. The SDC severity histograms and the
+// paper's TRE threshold sweep are built on this one function, so its
+// conventions at the boundaries are load-bearing: non-finite values
+// saturate to infinity (any NaN/Inf corruption is maximally severe),
+// a zero golden value falls back to absolute deviation, and signed
+// zeros compare equal.
+// ---------------------------------------------------------------------
+
+TEST(RelativeDeviationTest, FiniteValuesAreRelative)
+{
+    const auto f = fp::kDouble;
+    const auto golden = fp::fpFromDouble(f, 2.0);
+    const auto corrupted = fp::fpFromDouble(f, 2.5);
+    EXPECT_DOUBLE_EQ(relativeDeviation(f, corrupted, golden), 0.25);
+    // Symmetric in sign of the deviation, not of the arguments.
+    const auto below = fp::fpFromDouble(f, 1.5);
+    EXPECT_DOUBLE_EQ(relativeDeviation(f, below, golden), 0.25);
+    const auto neg = fp::fpFromDouble(f, -2.0);
+    EXPECT_DOUBLE_EQ(relativeDeviation(f, corrupted, neg), 2.25);
+}
+
+TEST(RelativeDeviationTest, IdenticalBitsDeviateByZero)
+{
+    const auto f = fp::kHalf;
+    for (const std::uint64_t bits : {0x3c00ULL, 0x0001ULL, 0xfbffULL})
+        EXPECT_EQ(relativeDeviation(f, bits, bits), 0.0);
+}
+
+TEST(RelativeDeviationTest, NonFiniteCorruptionSaturates)
+{
+    const auto f = fp::kHalf;
+    const auto golden = fp::fpFromDouble(f, 1.0);
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(relativeDeviation(f, fp::quietNaN(f), golden), inf);
+    EXPECT_EQ(relativeDeviation(f, fp::infinity(f, false), golden), inf);
+    EXPECT_EQ(relativeDeviation(f, fp::infinity(f, true), golden), inf);
+}
+
+TEST(RelativeDeviationTest, NonFiniteGoldenSaturates)
+{
+    // A golden Inf/NaN output makes a relative measure meaningless;
+    // the campaign records it as maximally severe rather than 0/0.
+    const auto f = fp::kHalf;
+    const auto finite = fp::fpFromDouble(f, 1.0);
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(relativeDeviation(f, finite, fp::quietNaN(f)), inf);
+    EXPECT_EQ(relativeDeviation(f, finite, fp::infinity(f, false)), inf);
+    // Both non-finite — even bit-identical NaNs — still saturate.
+    EXPECT_EQ(relativeDeviation(f, fp::quietNaN(f), fp::quietNaN(f)),
+              inf);
+    EXPECT_EQ(relativeDeviation(f, fp::infinity(f, false),
+                                fp::infinity(f, false)),
+              inf);
+}
+
+TEST(RelativeDeviationTest, ZeroGoldenFallsBackToAbsolute)
+{
+    const auto f = fp::kHalf;
+    const auto zero = fp::zero(f, false);
+    const auto half = fp::fpFromDouble(f, 0.5);
+    const auto negq = fp::fpFromDouble(f, -0.25);
+    EXPECT_DOUBLE_EQ(relativeDeviation(f, half, zero), 0.5);
+    EXPECT_DOUBLE_EQ(relativeDeviation(f, negq, zero), 0.25);
+    // ... for either sign of the golden zero.
+    EXPECT_DOUBLE_EQ(relativeDeviation(f, half, fp::zero(f, true)),
+                     0.5);
+}
+
+TEST(RelativeDeviationTest, SignedZerosCompareEqual)
+{
+    // -0 vs +0 is a bit flip in the sign position but numerically no
+    // deviation at all; the severity metric must not flag it.
+    const auto f = fp::kHalf;
+    EXPECT_EQ(relativeDeviation(f, fp::zero(f, true), fp::zero(f, false)),
+              0.0);
+    EXPECT_EQ(relativeDeviation(f, fp::zero(f, false), fp::zero(f, true)),
+              0.0);
+}
+
+TEST(RelativeDeviationTest, SubnormalGoldenStaysRelative)
+{
+    // Subnormals are finite and non-zero: the relative path applies,
+    // with no hidden flush to the absolute fallback.
+    const auto f = fp::kHalf;
+    const std::uint64_t one_ulp = 0x0001;   // smallest subnormal
+    const std::uint64_t two_ulp = 0x0002;
+    EXPECT_DOUBLE_EQ(relativeDeviation(f, two_ulp, one_ulp), 1.0);
+}
+
+TEST(RelativeDeviationTest, LowMantissaFlipIsSmallHighIsLarge)
+{
+    // The shape the whole bit-anatomy argument rests on, in one line:
+    // flipping mantissa bit 0 of 1.0 deviates by one ULP; flipping
+    // the top exponent bit deviates by far more than 100%.
+    const auto f = fp::kHalf;
+    const auto golden = fp::fpFromDouble(f, 1.0);
+    EXPECT_NEAR(relativeDeviation(f, golden ^ 1u, golden), 0x1.0p-10,
+                1e-12);
+    EXPECT_GT(relativeDeviation(f, golden ^ (1ull << 14), golden), 1.0);
 }
 
 TEST(FaultAnatomyTest, LowMantissaCriticalityGrowsAsPrecisionShrinks)

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/rng.hh"
 #include "fp/softfloat.hh"
 #include "fp/value.hh"
 
@@ -232,6 +233,120 @@ TEST(HookFlips, HalfProductFlipMoreVisible)
               fpFromDouble(kHalf, 1.2001953125));
     EXPECT_TRUE(hook.fired());
     EXPECT_NE(corrupted, clean);
+}
+
+// ---------------------------------------------------------------------
+// Hook invariance: installing a hook must observe, never perturb.
+//
+// The injector relies on a split-brain property of the softfloat core:
+// the un-struck majority of operations in a faulty trial run with a
+// hook installed but returning every value unchanged, and those must
+// be byte-identical to the golden (unhooked) run — otherwise faulty
+// and golden outputs differ for reasons other than the injected fault
+// and every SDC classification is suspect. Pin it for every op at
+// every stage in every format, on a spread of operand patterns.
+// ---------------------------------------------------------------------
+
+/** Run every instrumented op on one operand triple; fold the results. */
+std::uint64_t
+runAllOps(Format f, std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    // Mix with distinct multipliers so results can't cancel in pairs.
+    std::uint64_t digest = 0;
+    int i = 1;
+    for (std::uint64_t r : {
+             fpAdd(f, a, b), fpSub(f, a, b), fpMul(f, a, b),
+             fpDiv(f, a, b), fpFma(f, a, b, c), fpSqrt(f, a),
+             fpExp(f, a), fpLog(f, a),
+             fpConvert(kDouble, f, a), fpConvert(kHalf, f, a),
+             fpConvert(kBfloat16, f, a), fpConvert(kSingle, f, a)}) {
+        digest ^= Rng::mix(r, static_cast<std::uint64_t>(i++));
+    }
+    return digest;
+}
+
+TEST(HookInvariance, NoOpHookIsByteIdenticalToFastPath)
+{
+    // A default-constructed FpHook is the identity perturbation; the
+    // fast path is no context at all (hooked == nullptr short-circuit).
+    for (const Format f : {kHalf, kSingle, kDouble, kBfloat16, kTf32}) {
+        Rng rng(0x1009 ^ f.totalBits);
+        for (int trial = 0; trial < 200; ++trial) {
+            const std::uint64_t a = rng.next() & f.valueMask();
+            const std::uint64_t b = rng.next() & f.valueMask();
+            const std::uint64_t c = rng.next() & f.valueMask();
+
+            const std::uint64_t plain = runAllOps(f, a, b, c);
+
+            FpContext ctx;
+            FpHook identity;
+            ctx.hook = &identity;
+            std::uint64_t hooked;
+            {
+                FpEnvGuard guard(ctx);
+                hooked = runAllOps(f, a, b, c);
+            }
+            ASSERT_EQ(hooked, plain)
+                << "format " << f.totalBits << "-bit, operands " << a
+                << " " << b << " " << c;
+        }
+    }
+}
+
+TEST(HookInvariance, RecordingHookIsByteIdenticalToFastPath)
+{
+    // Same, for a hook that records visits but returns values intact —
+    // the shape every trigger-not-yet-met injector has.
+    for (const Format f : {kHalf, kSingle, kDouble, kBfloat16, kTf32}) {
+        Rng rng(0x77e57 ^ f.totalBits);
+        const std::uint64_t a = rng.next() & f.valueMask();
+        const std::uint64_t b = rng.next() & f.valueMask();
+        const std::uint64_t c = rng.next() & f.valueMask();
+
+        const std::uint64_t plain = runAllOps(f, a, b, c);
+
+        FpContext ctx;
+        RecordingHook hook;
+        ctx.hook = &hook;
+        std::uint64_t hooked;
+        {
+            FpEnvGuard guard(ctx);
+            hooked = runAllOps(f, a, b, c);
+        }
+        EXPECT_EQ(hooked, plain);
+        EXPECT_FALSE(hook.visits.empty());
+    }
+}
+
+TEST(HookInvariance, SpecialValuesUnperturbed)
+{
+    // The special-value early exits bypass most datapath stages; make
+    // sure the hooked path agrees there too (NaN, infinities, zeros,
+    // subnormals, extremes).
+    for (const Format f : {kHalf, kSingle, kDouble, kBfloat16, kTf32}) {
+        const std::uint64_t patterns[] = {
+            0, f.valueMask() >> 1, quietNaN(f), infinity(f, false),
+            infinity(f, true), 1, f.manMask(),
+            packFields(f, true, 0, 1), maxFinite(f, false),
+            fpFromDouble(f, 1.0), fpFromDouble(f, -2.5),
+        };
+        for (const std::uint64_t a : patterns) {
+            for (const std::uint64_t b : patterns) {
+                const std::uint64_t plain = runAllOps(f, a, b, b);
+                FpContext ctx;
+                FpHook identity;
+                ctx.hook = &identity;
+                std::uint64_t hooked;
+                {
+                    FpEnvGuard guard(ctx);
+                    hooked = runAllOps(f, a, b, b);
+                }
+                ASSERT_EQ(hooked, plain)
+                    << "format " << f.totalBits << "-bit, a=" << a
+                    << " b=" << b;
+            }
+        }
+    }
 }
 
 TEST(HookFlips, ExponentFlipScalesResult)
