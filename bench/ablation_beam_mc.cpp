@@ -1,88 +1,15 @@
 /**
  * @file
- * Ablation (DESIGN.md section 5, decision 2): mparch estimates FIT
- * analytically as exposure x sensitivity x measured-AVF instead of
- * resolving every Poisson beam arrival with a fresh injected
- * execution. This bench validates that shortcut: it runs the full
- * Monte Carlo virtual beam — every neutron resolved by actually
- * executing the workload with a fresh fault — and compares the
- * measured FIT (with its Poisson confidence interval) against the
- * analytic estimator for the same inventory.
+ * Thin shim over the "ablation_beam_mc" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "arch/gpu/gpu.hh"
-#include "beam/virtual_beam.hh"
-#include "fault/campaign.hh"
-
-namespace {
-
-using namespace mparch;
-
-/** Resolve one beam fault by running a single injected execution. */
-beam::BeamOutcome
-resolveByExecution(workloads::Workload &w, std::size_t entry,
-                   Rng &rng)
-{
-    fault::CampaignConfig one;
-    one.trials = 1;
-    one.seed = rng.next();
-    const fault::CampaignResult r =
-        entry == 0 ? fault::runDatapathCampaign(w, one)
-                   : fault::runMemoryCampaign(w, one);
-    if (r.due)
-        return beam::BeamOutcome::Due;
-    if (r.sdc)
-        return beam::BeamOutcome::Sdc;
-    return beam::BeamOutcome::Masked;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 400, 0.15);
-    bench::banner("Ablation: Monte Carlo beam vs analytic FIT",
-                  "MC FIT confidence interval must cover the "
-                  "analytic estimate");
-
-    Table table({"precision", "analytic-fit", "mc-fit", "mc-ci95-lo",
-                 "mc-ci95-hi", "mc-faults", "covered"});
-    for (auto p : fp::allPrecisions) {
-        auto w = workloads::makeWorkload("micro-mul", p, args.scale);
-        gpu::GpuOptions opt;
-        opt.datapathTrials = args.trials;
-        opt.memoryTrials = args.trials / 2;
-        const auto eval = gpu::evaluateGpu(*w, opt);
-
-        // Strip the control entry (its DUEs are analytic-only) and
-        // drive the SDC entries through real executions.
-        beam::ResourceInventory inv = eval.inventory;
-        inv.entries.resize(2);
-        const double analytic = inv.fitSdc();
-
-        Rng rng(97);
-        const double fluence = 400.0 / inv.rawRate();
-        const auto mc = beam::runBeam(
-            inv, fluence, rng,
-            [&w](std::size_t entry, Rng &r) {
-                return resolveByExecution(*w, entry, r);
-            });
-        const Interval ci = mc.fitSdc95();
-        table.row()
-            .cell(std::string(fp::precisionName(p)))
-            .cell(analytic, 0)
-            .cell(mc.fitSdc(), 0)
-            .cell(ci.lo, 0)
-            .cell(ci.hi, 0)
-            .cell(static_cast<std::int64_t>(mc.faults))
-            .cell(ci.contains(analytic) ? "yes" : "NO");
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "ablation_beam_mc");
 }

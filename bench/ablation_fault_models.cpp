@@ -1,55 +1,15 @@
 /**
  * @file
- * Ablation: does the single-bit-flip assumption matter?
- *
- * The paper's injections (and most of the literature's) use the
- * single-bit-flip model; real SRAM events include multi-bit upsets
- * (its FPGA reference [8] measures them directly). This bench
- * re-runs the GEMM memory campaign under every fault model — single
- * flip, adjacent double flip, random byte, whole-word randomisation,
- * and a 4-word row burst — to show which conclusions are
- * model-robust (the precision ordering of criticality) and which
- * move (absolute AVF, the masked fraction).
+ * Thin shim over the "ablation_fault_models" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "fault/campaign.hh"
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 400, 0.15);
-    bench::banner("Ablation: fault-model sweep (GEMM memory "
-                  "campaign)",
-                  "criticality ordering half > single > double holds "
-                  "under every model; absolute AVF shifts");
-
-    Table table({"model", "precision", "avf-sdc", "remain@0.1%",
-                 "remain@1%"});
-    for (auto model :
-         {fault::FaultModel::SingleBitFlip,
-          fault::FaultModel::DoubleBitFlip,
-          fault::FaultModel::RandomByte,
-          fault::FaultModel::RandomValue,
-          fault::FaultModel::WordBurst}) {
-        for (auto p : fp::allPrecisions) {
-            auto w = workloads::makeWorkload("mxm", p, args.scale);
-            fault::CampaignConfig config;
-            config.trials = args.trials;
-            config.model = model;
-            const auto r = fault::runMemoryCampaign(*w, config);
-            table.row()
-                .cell(fault::faultModelName(model))
-                .cell(std::string(fp::precisionName(p)))
-                .cell(r.avfSdc(), 3)
-                .cell(r.survivingFraction(1e-3), 3)
-                .cell(r.survivingFraction(1e-2), 3);
-        }
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "ablation_fault_models");
 }

@@ -1,54 +1,15 @@
 /**
  * @file
- * Ablation (DESIGN.md section 5, decision 1): does it matter that
- * mparch injects into the *internal* datapath stages of an operation
- * rather than only into its operand registers, as register-level
- * injectors (SASSIFI-style) do?
- *
- * The sweep compares AVF and the TRE criticality curve for MxM under
- * operand-only vs full-datapath strikes at every precision. Expected
- * outcome: operand-only injection over-estimates criticality (every
- * flipped bit is architecturally meaningful), while datapath strikes
- * include product/pre-round bits that rounding absorbs — the gap
- * grows with precision because wide formats carry more sub-ulp
- * datapath state. This quantifies what a beam experiment sees that a
- * register-level injector cannot, one of the paper's motivations for
- * combining both (Section 3.3).
+ * Thin shim over the "ablation_injection_sites" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "fault/campaign.hh"
-#include "metrics/metrics.hh"
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 600, 0.2);
-    bench::banner("Ablation: operand-only vs full-datapath injection",
-                  "operand-only over-estimates AVF and criticality; "
-                  "gap widens with precision");
-
-    Table table({"precision", "sites", "avf-sdc", "remain@0.1%",
-                 "remain@1%"});
-    for (auto p : fp::allPrecisions) {
-        for (const bool operand_only : {true, false}) {
-            auto w = nn::makeAnyWorkload("mxm", p, args.scale);
-            fault::CampaignConfig config;
-            config.trials = args.trials;
-            config.operandStagesOnly = operand_only;
-            const auto r = fault::runDatapathCampaign(*w, config);
-            table.row()
-                .cell(std::string(fp::precisionName(p)))
-                .cell(operand_only ? "operands-only" : "full-datapath")
-                .cell(r.avfSdc(), 3)
-                .cell(r.survivingFraction(1e-3), 3)
-                .cell(r.survivingFraction(1e-2), 3);
-        }
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "ablation_injection_sites");
 }

@@ -1,94 +1,15 @@
 /**
  * @file
- * Ablation: how much of each device's reliability comes from its
- * memory-protection machinery?
- *
- * The paper's devices differ sharply here: the Xeon Phi's MCA/ECC
- * protects the register file and caches (they never enter the
- * exposure inventory), while the Titan V has no ECC and the authors
- * had to *triplicate* HBM2 contents to keep main-memory strikes out
- * of their data (Section 3.2). This bench recomputes FIT with those
- * protections switched off: Phi with an unprotected register file,
- * GPU with unmirrored HBM2-resident data.
+ * Thin shim over the "ablation_protection" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "arch/gpu/gpu.hh"
-#include "arch/phi/params.hh"
-#include "arch/phi/phi.hh"
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 300, 0.2);
-    bench::banner("Ablation: ECC / triplication contribution",
-                  "unprotected variants must dominate the baseline "
-                  "FIT");
-
-    Table phi_table({"benchmark", "precision", "fit-sdc(baseline)",
-                     "fit-sdc(no ECC)", "ratio"});
-    for (const std::string name : {"lavamd", "lud"}) {
-        for (auto p :
-             {fp::Precision::Double, fp::Precision::Single}) {
-            auto w = workloads::makeWorkload(name, p, args.scale);
-            phi::PhiOptions opt;
-            opt.pvfTrials = args.trials;
-            opt.datapathTrials = args.trials;
-            auto eval = phi::evaluatePhi(*w, opt);
-            const double base = eval.fitSdc;
-            // Without MCA the architectural register file (32 x
-            // 512-bit vector registers per core) joins the exposure,
-            // propagating with the measured PVF.
-            beam::ResourceInventory no_ecc = eval.inventory;
-            no_ecc.entries.push_back(
-                {"register-file(unprotected)",
-                 beam::BitClass::SramData,
-                 static_cast<double>(phi::kCores) *
-                     phi::kVectorRegisters * phi::kVpuBits,
-                 eval.pvfCampaign.avfSdc(), 0.0});
-            phi_table.row()
-                .cell(name)
-                .cell(std::string(fp::precisionName(p)))
-                .cell(base, 0)
-                .cell(no_ecc.fitSdc(), 0)
-                .cell(no_ecc.fitSdc() / base, 1);
-        }
-    }
-    phi_table.setTitle("Xeon Phi: with vs without MCA/ECC");
-    phi_table.print(std::cout);
-
-    Table gpu_table({"benchmark", "precision", "fit-sdc(triplicated)",
-                     "fit-sdc(raw HBM2)", "ratio"});
-    for (const std::string name : {"mxm", "lavamd"}) {
-        for (auto p : fp::allPrecisions) {
-            auto w = workloads::makeWorkload(name, p, args.scale);
-            gpu::GpuOptions opt;
-            opt.datapathTrials = args.trials;
-            opt.memoryTrials = args.trials / 2;
-            auto eval = gpu::evaluateGpu(*w, opt);
-            const double base = eval.fitSdc;
-            // Without triplication every DRAM-resident copy of the
-            // working set is exposed for the whole execution, not
-            // just the cache-resident fraction. Model the HBM2
-            // window as 64x the on-chip residency.
-            beam::ResourceInventory raw = eval.inventory;
-            for (auto &entry : raw.entries) {
-                if (entry.name == "cache-resident-data")
-                    entry.bits *= 65.0;
-            }
-            gpu_table.row()
-                .cell(name)
-                .cell(std::string(fp::precisionName(p)))
-                .cell(base, 0)
-                .cell(raw.fitSdc(), 0)
-                .cell(raw.fitSdc() / base, 1);
-        }
-    }
-    gpu_table.setTitle("Titan V: HBM2 triplicated vs raw");
-    gpu_table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "ablation_protection");
 }

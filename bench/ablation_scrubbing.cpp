@@ -1,76 +1,15 @@
 /**
  * @file
- * Ablation: FPGA configuration-memory scrubbing.
- *
- * The paper reprograms the FPGA after every observed error and notes
- * that real deployments use scrubbing to stop persistent faults from
- * accumulating (Section 4, [42]). This bench sweeps the scrub
- * interval: as it grows, upsets pile up between scrubs and the
- * effective error rate saturates towards one error per interval,
- * erasing the reliability advantage of reduced precision (a smaller
- * circuit buys less once any fault in it persists long enough).
+ * Thin shim over the "ablation_scrubbing" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "arch/fpga/fpga.hh"
-#include "metrics/metrics.hh"
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 300, 0.3);
-    bench::banner("Ablation: FPGA scrubbing interval sweep",
-                  "error rate ~ raw*avf at short intervals, "
-                  "saturates at 1/interval; precision advantage "
-                  "shrinks with the interval");
-
-    // Per-precision raw upset rate and measured config AVF for MxM.
-    struct Row
-    {
-        fp::Precision p;
-        double rawRate;
-        double avf;
-    };
-    std::vector<Row> rows;
-    for (auto p : fp::allPrecisions) {
-        auto w = workloads::makeWorkload("mxm", p, args.scale);
-        fpga::FpgaOptions opt;
-        opt.configTrials = args.trials;
-        opt.bramTrials = args.trials / 2;
-        const auto eval = fpga::evaluateFpga(*w, opt);
-        // Scrubbing only concerns the persistent mechanism: the
-        // configuration-memory entry's raw upset rate and AVF.
-        const double config_rate =
-            eval.circuit.configBits *
-            beam::bitSensitivity(beam::Node::Fpga28nm,
-                                 beam::BitClass::SramConfig);
-        rows.push_back({p, config_rate,
-                        eval.configCampaign.avfSdc()});
-    }
-
-    Table table({"scrub-interval(a.u.)", "double", "single", "half",
-                 "double/half advantage"});
-    for (const double interval :
-         {1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4}) {
-        std::array<double, 3> rate{};
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            rate[i] = metrics::scrubbedErrorRate(
-                rows[i].rawRate, rows[i].avf, interval);
-        }
-        table.row()
-            .cell(interval, 10)
-            .cell(rate[0], 0)
-            .cell(rate[1], 0)
-            .cell(rate[2], 0)
-            .cell(rate[0] / rate[2], 2);
-    }
-    table.print(std::cout);
-    std::cout << "(advantage column: how much more often the double "
-                 "design fails than the half design;\n it decays "
-                 "towards 1.0 as the scrub interval grows)\n";
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "ablation_scrubbing");
 }

@@ -1,88 +1,15 @@
 /**
  * @file
- * Ablation: cycle-level scheduler simulation vs the closed-form GPU
- * occupancy/control model.
- *
- * The analytic model in gpu.cc assumes (a) the micro kernels' wall
- * time is chain-latency-bound at 8/4/6-per-pair cycles, (b) enough
- * warps keep issue utilisation near 1, and (c) scheduler-state
- * upsets become DUEs at a roughly precision-independent rate. The
- * SM simulator checks all three from first principles and measures
- * the split of control-fault outcomes (hang vs program-level SDC vs
- * masked) that the inventory's control entry otherwise assumes.
+ * Thin shim over the "ablation_sm_sim" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include <algorithm>
-
-#include "arch/gpu/params.hh"
-#include "arch/gpu/sm_sim.hh"
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 2500, 1.0);
-    bench::banner("Ablation: SM scheduler simulation",
-                  "simulated cycles match the latency model; "
-                  "control-fault DUE rate ~precision-independent");
-
-    gpu::WarpProgram prog;
-    prog.instructions = 256;
-
-    Table timing({"precision", "warps", "sim-cycles",
-                  "latency-model-cycles", "issue-util",
-                  "avg-inflight"});
-    for (auto p : fp::allPrecisions) {
-        for (int warps : {1, 4, 8}) {
-            gpu::SmConfig config;
-            config.precision = p;
-            config.warps = warps;
-            const auto s = gpu::simulateSm(config, prog);
-            // Closed form: chains are latency-bound per warp until
-            // the single issue slot saturates.
-            const double instrs =
-                static_cast<double>(prog.instructions);
-            const double latency_model = std::max(
-                instrs * gpu::opLatencyCycles(p) *
-                    gpu::packFactor(p),
-                instrs * warps);
-            timing.row()
-                .cell(std::string(fp::precisionName(p)))
-                .cell(static_cast<std::int64_t>(warps))
-                .cell(static_cast<std::int64_t>(s.cycles))
-                .cell(latency_model, 0)
-                .cell(s.issueUtilization, 3)
-                .cell(s.avgInFlight, 2);
-        }
-    }
-    timing.setTitle("fault-free schedule");
-    timing.print(std::cout);
-
-    Table control({"precision", "trials", "masked", "sdc(program)",
-                   "due(hang)", "avf-due", "ci95"});
-    for (auto p : fp::allPrecisions) {
-        gpu::SmConfig config;
-        config.precision = p;
-        const auto r =
-            gpu::measureControlAvf(config, prog, args.trials, 17);
-        const auto ci = r.due95();
-        char buf[48];
-        std::snprintf(buf, sizeof(buf), "[%.3f, %.3f]", ci.lo,
-                      ci.hi);
-        control.row()
-            .cell(std::string(fp::precisionName(p)))
-            .cell(static_cast<std::int64_t>(r.trials))
-            .cell(static_cast<std::int64_t>(r.masked))
-            .cell(static_cast<std::int64_t>(r.sdc))
-            .cell(static_cast<std::int64_t>(r.due))
-            .cell(r.avfDue(), 3)
-            .cell(buf);
-    }
-    control.setTitle("scheduler-state injection");
-    control.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "ablation_sm_sim");
 }

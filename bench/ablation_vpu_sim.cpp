@@ -1,73 +1,15 @@
 /**
  * @file
- * Ablation: KNC core pipeline simulation vs the Phi analytic model.
- *
- * Grounds three things the Phi model otherwise assumes: (a) the
- * vectoriser's software-pipelining depth (the register-costly unroll
- * the compiler model predicts) is what keeps the in-order VPU fed —
- * visible as the issue-utilisation gap between depth 1 and depth 2
- * at low thread counts; (b) KNC's no-back-to-back-issue rule caps a
- * single thread at half rate (why real KNC codes run >= 2 threads
- * per core); (c) control-state upsets split into hangs and silent
- * corruptions at a measurable, per-bit rate, with single precision's
- * wider lane mask giving control faults more data-corrupting
- * landing spots.
+ * Thin shim over the "ablation_vpu_sim" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "arch/phi/params.hh"
-#include "arch/phi/vpu_sim.hh"
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 2500, 1.0);
-    bench::banner("Ablation: KNC VPU pipeline simulation",
-                  "unroll-2 feeds the pipe where unroll-1 stalls; "
-                  "lane-mask width shifts control faults into SDCs");
-
-    phi::VpuProgram prog;
-    prog.instructions = 256;
-
-    Table timing({"threads", "unroll", "cycles", "issue-util"});
-    for (int threads : {1, 2, 4}) {
-        for (int unroll : {1, 2, 4}) {
-            phi::VpuConfig config;
-            config.threads = threads;
-            prog.unroll = unroll;
-            const auto s = phi::simulateVpu(config, prog);
-            timing.row()
-                .cell(static_cast<std::int64_t>(threads))
-                .cell(static_cast<std::int64_t>(unroll))
-                .cell(static_cast<std::int64_t>(s.cycles))
-                .cell(s.issueUtilization, 3);
-        }
-    }
-    timing.setTitle("fault-free schedule (double precision)");
-    timing.print(std::cout);
-
-    Table control({"precision", "lane-mask-bits", "masked", "sdc",
-                   "due", "avf-sdc", "avf-due"});
-    prog.unroll = 2;
-    for (auto p : {fp::Precision::Double, fp::Precision::Single}) {
-        phi::VpuConfig config;
-        config.precision = p;
-        const auto r =
-            phi::measureVpuControlAvf(config, prog, args.trials, 9);
-        control.row()
-            .cell(std::string(fp::precisionName(p)))
-            .cell(static_cast<std::int64_t>(phi::lanes(p)))
-            .cell(static_cast<std::int64_t>(r.masked))
-            .cell(static_cast<std::int64_t>(r.sdc))
-            .cell(static_cast<std::int64_t>(r.due))
-            .cell(r.avfSdc(), 3)
-            .cell(r.avfDue(), 3);
-    }
-    control.setTitle("control-state injection");
-    control.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "ablation_vpu_sim");
 }

@@ -1,195 +1,19 @@
 /**
  * @file
- * Throughput bench for the parallel campaign engine.
- *
- * Runs the same supervised campaign serially (--jobs 1) and with the
- * thread-pooled executor (--jobs N) for each campaign kind, reports
- * trials/second and the parallel speedup, and checks on the way that
- * the two runs produced identical tallies (the engine's contract:
- * parallelism changes wall-clock time, never results).
- *
- * Usage: bench_campaign_throughput [trials] [scale] [--jobs N]
- *                                  [--json]
- *   --jobs N  worker threads for the parallel leg (default: all
- *             hardware threads)
- *   --json    also write BENCH_campaign.json with the measurements
- *
- * Speedup scales with physical cores; on a single-core host the
- * parallel leg measures pure executor overhead (expect ~1x).
+ * Thin shim over the "bench_campaign_throughput" experiment registry
+ * entry: serial loop vs thread-pooled campaign executor, with the
+ * engine's identical-tallies contract as a shape check (a divergence
+ * fails the binary). All logic lives in src/report/; this binary
+ * preserves the historical name, CLI (--jobs N, --json writing
+ * BENCH_campaign.json) and exit-status contract.
  */
 
 #include "bench_util.hh"
 
-#include <chrono>
-#include <fstream>
-
-#include "arch/fpga/fpga.hh"
-#include "common/parallel.hh"
-#include "fault/campaign.hh"
-#include "fault/supervisor.hh"
-
-namespace {
-
-using namespace mparch;
-
-struct KindResult
-{
-    std::string kind;
-    double serialSeconds = 0.0;
-    double parallelSeconds = 0.0;
-    std::uint64_t trials = 0;
-    bool identical = false;
-
-    double serialRate() const { return trials / serialSeconds; }
-    double parallelRate() const { return trials / parallelSeconds; }
-    double speedup() const
-    {
-        return serialSeconds / parallelSeconds;
-    }
-};
-
-double
-seconds(std::chrono::steady_clock::time_point begin,
-        std::chrono::steady_clock::time_point end)
-{
-    return std::chrono::duration<double>(end - begin).count();
-}
-
-/** Tallies equal (the corpus makes the check order-sensitive). */
-bool
-sameResult(const fault::CampaignResult &a,
-           const fault::CampaignResult &b)
-{
-    if (a.trials != b.trials || a.masked != b.masked ||
-        a.sdc != b.sdc || a.due != b.due ||
-        a.detected != b.detected ||
-        a.corpus.size() != b.corpus.size())
-        return false;
-    for (std::size_t i = 0; i < a.corpus.size(); ++i)
-        if (a.corpus[i].maxRel != b.corpus[i].maxRel)
-            return false;
-    return true;
-}
-
-KindResult
-benchKind(workloads::Workload &w, fault::CampaignKind kind,
-          const std::string &label, const fault::CampaignConfig &config,
-          unsigned jobs,
-          const std::vector<fault::EngineAllocation> &engines = {})
-{
-    KindResult out;
-    out.kind = label;
-    out.trials = config.trials;
-
-    fault::SupervisorConfig serial;
-    serial.jobs = 1;
-    fault::SupervisorConfig parallel;
-    parallel.jobs = jobs;
-
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto a = fault::runSupervisedCampaign(
-        w, kind, config, serial, fp::OpKind::NumKinds, engines);
-    const auto t1 = std::chrono::steady_clock::now();
-    const auto b = fault::runSupervisedCampaign(
-        w, kind, config, parallel, fp::OpKind::NumKinds, engines);
-    const auto t2 = std::chrono::steady_clock::now();
-
-    out.serialSeconds = seconds(t0, t1);
-    out.parallelSeconds = seconds(t1, t2);
-    out.identical = sameResult(a.result, b.result);
-    return out;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-
-    bool json = false;
-    unsigned jobs = 0;  // 0 = all hardware threads
-    std::vector<char *> positional;
-    for (int i = 0; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--json")
-            json = true;
-        else if (arg == "--jobs" && i + 1 < argc)
-            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
-        else
-            positional.push_back(argv[i]);
-    }
-    int pos_argc = static_cast<int>(positional.size());
-    const auto args =
-        bench::parseArgs(pos_argc, positional.data(), 400, 0.15);
-    jobs = parallel::resolveJobs(jobs);
-
-    bench::banner(
-        "Campaign throughput: serial loop vs thread-pooled executor",
-        "identical tallies at every job count; speedup bounded by "
-        "physical cores (" +
-            std::to_string(parallel::hardwareJobs()) + " here)");
-
-    fault::CampaignConfig config;
-    config.trials = args.trials;
-    config.seed = 29;
-
-    auto w = workloads::makeWorkload("mxm", fp::Precision::Single,
-                                     args.scale);
-    const fault::GoldenRun golden(*w, config.inputSeed);
-    const auto circuit = fpga::synthesize(*w, golden);
-
-    std::vector<KindResult> rows;
-    rows.push_back(benchKind(*w, fault::CampaignKind::Memory,
-                             "memory", config, jobs));
-    rows.push_back(benchKind(*w, fault::CampaignKind::Datapath,
-                             "datapath", config, jobs));
-    rows.push_back(benchKind(*w, fault::CampaignKind::Persistent,
-                             "persistent", config, jobs,
-                             circuit.engines));
-
-    Table table({"campaign", "trials", "serial-trials/s",
-                 "jobs=" + std::to_string(jobs) + "-trials/s",
-                 "speedup", "identical"});
-    for (const auto &row : rows) {
-        table.row()
-            .cell(row.kind)
-            .cell(static_cast<double>(row.trials), 0)
-            .cell(row.serialRate(), 1)
-            .cell(row.parallelRate(), 1)
-            .cell(row.speedup(), 2)
-            .cell(row.identical ? "yes" : "NO");
-    }
-    table.print(std::cout);
-
-    bool all_identical = true;
-    for (const auto &row : rows)
-        all_identical = all_identical && row.identical;
-    if (!all_identical)
-        std::cout << "FAIL: parallel tallies diverged from serial\n";
-
-    if (json) {
-        std::ofstream out("BENCH_campaign.json");
-        out << "{\n  \"workload\": \"mxm\",\n  \"trials\": "
-            << args.trials << ",\n  \"scale\": " << args.scale
-            << ",\n  \"jobs\": " << jobs
-            << ",\n  \"hardware_threads\": "
-            << parallel::hardwareJobs() << ",\n  \"campaigns\": [\n";
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            const auto &row = rows[i];
-            out << "    {\"kind\": \"" << row.kind
-                << "\", \"serial_s\": " << row.serialSeconds
-                << ", \"parallel_s\": " << row.parallelSeconds
-                << ", \"serial_trials_per_s\": " << row.serialRate()
-                << ", \"parallel_trials_per_s\": "
-                << row.parallelRate()
-                << ", \"speedup\": " << row.speedup()
-                << ", \"identical\": "
-                << (row.identical ? "true" : "false") << "}"
-                << (i + 1 < rows.size() ? "," : "") << "\n";
-        }
-        out << "  ]\n}\n";
-        std::cout << "wrote BENCH_campaign.json\n";
-    }
-    return all_identical ? 0 : 1;
+    return mparch::bench::shimMain(argc, argv,
+                                   "bench_campaign_throughput",
+                                   "BENCH_campaign.json");
 }

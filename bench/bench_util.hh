@@ -2,15 +2,23 @@
  * @file
  * Shared plumbing for the reproduction benches.
  *
- * Every binary under bench/ regenerates one table or figure of the
- * paper: it prints the same rows/series the paper reports (FIT in
- * arbitrary units, so shapes — orderings, ratios, crossovers — are
- * the comparison targets, not absolute values), then optionally runs
- * a google-benchmark timing of the underlying simulated kernels.
+ * Every binary under bench/ is a thin shim over one entry of the
+ * declarative experiment registry (src/report/registry.hh): it looks
+ * its experiment up by id, parses the common CLI knobs, runs the
+ * registered closure and prints the structured result document in
+ * the classic column-aligned format — then optionally runs a
+ * google-benchmark timing of the underlying simulated kernels, as
+ * declared by the experiment's TimingSpecs.
  *
- * Usage: <bench> [trials] [scale]
- *   trials  injection trials per campaign (default per bench)
- *   scale   workload problem-size knob (default per bench)
+ * Usage: <bench> [trials] [scale] [--trials=N] [--scale=X]
+ *                [--jobs=N] [--json] [--benchmark_*...]
+ *   trials  injection trials per campaign (0/omitted = per-bench
+ *           default)
+ *   scale   workload problem-size knob (0/omitted = per-bench
+ *           default)
+ *
+ * Malformed arguments are an error (usage on stderr, exit 2) — they
+ * are never silently replaced with defaults.
  */
 
 #ifndef MPARCH_BENCH_BENCH_UTIL_HH
@@ -18,34 +26,149 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
+#include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "common/table.hh"
-#include "core/study.hh"
 #include "nn/nn_workloads.hh"
+#include "report/registry.hh"
 
 namespace mparch::bench {
 
 /** Command-line knobs common to all benches. */
 struct BenchArgs
 {
-    std::uint64_t trials;
-    double scale;
+    /** Effective run knobs; 0-valued fields mean "experiment
+     *  default". */
+    report::RunContext ctx;
+
+    /** Write the structured JSON document next to the text report. */
+    bool json = false;
+
+    /** argv[0] plus any --benchmark_* passthrough arguments. */
+    std::vector<char *> benchmarkArgv;
 };
 
-/** Parse "[trials] [scale]" with bench-specific defaults. */
-inline BenchArgs
-parseArgs(int argc, char **argv, std::uint64_t default_trials,
-          double default_scale)
+inline void
+printUsage(const char *prog, std::ostream &os)
 {
-    BenchArgs args{default_trials, default_scale};
-    if (argc > 1 && std::atoll(argv[1]) > 0)
-        args.trials = static_cast<std::uint64_t>(std::atoll(argv[1]));
-    if (argc > 2 && std::atof(argv[2]) > 0.0)
-        args.scale = std::atof(argv[2]);
+    os << "usage: " << prog
+       << " [trials] [scale] [--trials=N] [--scale=X] [--jobs=N]"
+          " [--json] [--benchmark_*...]\n"
+          "  trials     injection trials per campaign (non-negative"
+          " integer; 0 = default)\n"
+          "  scale      workload problem-size knob (non-negative"
+          " real; 0 = default)\n"
+          "  --jobs=N   campaign worker threads (0 = all hardware"
+          " threads); results\n"
+          "             are bit-identical for every N\n"
+          "  --json     also write the structured result document"
+          " as JSON\n"
+          "  --benchmark_*  forwarded to google-benchmark\n";
+}
+
+/** Strict base-10 unsigned parse: whole string, no sign, no junk. */
+inline bool
+parseCount(const std::string &text, std::uint64_t *out)
+{
+    if (text.empty() || text.find_first_not_of("0123456789") !=
+                            std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+/** Strict non-negative real parse: whole string, finite, >= 0. */
+inline bool
+parseReal(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end != text.c_str() + text.size() || v < 0.0)
+        return false;
+    *out = v;
+    return true;
+}
+
+/**
+ * Parse the common bench CLI. Positional "[trials] [scale]" is the
+ * historical form; --trials=/--scale=/--jobs= (or the two-token
+ * "--jobs N" form) are the named equivalents. Anything malformed
+ * prints the usage and exits 2 instead of silently running with
+ * defaults (the old behaviour that let typos masquerade as runs).
+ */
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    args.benchmarkArgv.push_back(argv[0]);
+    const auto fail = [&](const std::string &why) {
+        std::cerr << argv[0] << ": error: " << why << "\n";
+        printUsage(argv[0], std::cerr);
+        std::exit(2);
+    };
+    const auto value_of = [&](const std::string &arg, int *i) {
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos)
+            return arg.substr(eq + 1);
+        if (*i + 1 >= argc)
+            fail(arg + " needs a value");
+        return std::string(argv[++*i]);
+    };
+
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--benchmark_", 0) == 0) {
+            args.benchmarkArgv.push_back(argv[i]);
+        } else if (arg == "--json") {
+            args.json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0], std::cout);
+            std::exit(0);
+        } else if (arg == "--trials" ||
+                   arg.rfind("--trials=", 0) == 0) {
+            const std::string v = value_of(arg, &i);
+            if (!parseCount(v, &args.ctx.trials))
+                fail("bad --trials value '" + v + "'");
+        } else if (arg == "--scale" ||
+                   arg.rfind("--scale=", 0) == 0) {
+            const std::string v = value_of(arg, &i);
+            if (!parseReal(v, &args.ctx.scale))
+                fail("bad --scale value '" + v + "'");
+        } else if (arg == "--jobs" ||
+                   arg.rfind("--jobs=", 0) == 0) {
+            const std::string v = value_of(arg, &i);
+            std::uint64_t jobs = 0;
+            if (!parseCount(v, &jobs))
+                fail("bad --jobs value '" + v + "'");
+            args.ctx.jobs = static_cast<unsigned>(jobs);
+        } else if (arg.rfind("--", 0) == 0) {
+            fail("unknown option '" + arg + "'");
+        } else if (positional == 0) {
+            if (!parseCount(arg, &args.ctx.trials))
+                fail("bad trials argument '" + arg + "'");
+            ++positional;
+        } else if (positional == 1) {
+            if (!parseReal(arg, &args.ctx.scale))
+                fail("bad scale argument '" + arg + "'");
+            ++positional;
+        } else {
+            fail("unexpected argument '" + arg + "'");
+        }
+    }
     return args;
 }
 
@@ -59,23 +182,6 @@ banner(const std::string &what, const std::string &shape_target)
               << "shape target: " << shape_target << "\n"
               << "=============================================="
                  "==============\n";
-}
-
-/** Run one study, with progress feedback on stderr. */
-inline core::StudyResult
-study(core::Architecture arch, const std::string &workload,
-      const BenchArgs &args,
-      std::vector<fp::Precision> precisions = {})
-{
-    core::StudyConfig config;
-    config.arch = arch;
-    config.workload = workload;
-    config.trials = args.trials;
-    config.scale = args.scale;
-    config.precisions = std::move(precisions);
-    std::fprintf(stderr, "[bench] %s/%s: running campaigns...\n",
-                 core::architectureName(arch), workload.c_str());
-    return core::runStudy(config);
 }
 
 /**
@@ -108,6 +214,54 @@ runRegisteredBenchmarks(int *argc, char **argv)
     benchmark::Initialize(argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+}
+
+/**
+ * The whole bench main: look the experiment up, parse the CLI, run,
+ * print, optionally dump JSON, then time the declared kernels.
+ *
+ * Exit status: 2 on CLI misuse; for Engine-kind experiments a failed
+ * shape check (e.g. parallel tallies diverging from serial) exits 1,
+ * mirroring the old bench contract — paper-shape checks at reduced
+ * trials are reported but never fail the binary (the scorecard
+ * driver owns that judgement at default trials).
+ */
+inline int
+shimMain(int argc, char **argv, const std::string &id,
+         const std::string &json_path = "")
+{
+    const report::Experiment *experiment = report::findExperiment(id);
+    if (experiment == nullptr) {
+        std::cerr << argv[0] << ": experiment '" << id
+                  << "' is not in the registry\n";
+        return 1;
+    }
+
+    BenchArgs args = parseArgs(argc, argv);
+    banner(experiment->title, experiment->shapeTarget);
+    const report::ResultDoc doc =
+        report::runExperiment(*experiment, args.ctx);
+    doc.print(std::cout);
+
+    if (args.json) {
+        const std::string path =
+            json_path.empty() ? id + ".json" : json_path;
+        std::ofstream out(path);
+        doc.writeJson(out);
+        std::cout << "wrote " << path << "\n";
+    }
+
+    for (const auto &timing : experiment->timings)
+        for (auto p : timing.precisions)
+            registerKernelTiming(timing.workload, p,
+                                 experiment->scaleFor(args.ctx));
+    int bench_argc = static_cast<int>(args.benchmarkArgv.size());
+    runRegisteredBenchmarks(&bench_argc, args.benchmarkArgv.data());
+
+    const bool engine_contract_ok =
+        experiment->kind != report::ExperimentKind::Engine ||
+        doc.allPassed();
+    return engine_contract_ok ? 0 : 1;
 }
 
 } // namespace mparch::bench

@@ -1,92 +1,15 @@
 /**
  * @file
- * Extension: bit-position-resolved vulnerability.
- *
- * The paper's introduction states its central hypothesis in terms of
- * bit positions: "a fault on 64 bits could affect only the least
- * significant positions of the mantissa, resulting in a value still
- * sufficiently close to the expected one; as precision is reduced,
- * the probability for the fault to change the output significantly
- * is expected to increase." This bench measures that directly:
- * single-bit CAROL-FI flips on the GEMM, resolved by the IEEE754
- * field the flipped bit belongs to (sign / exponent / high mantissa
- * / low mantissa), reporting each field's AVF and how often its SDCs
- * exceed 1% deviation.
- *
- * Expected shape: exponent flips are near-certain, large SDCs at
- * every precision; low-mantissa flips are near-harmless in double
- * but increasingly consequential as the mantissa shrinks — in half,
- * "low mantissa" is only 5 bits, all of which matter.
+ * Thin shim over the "ext_bit_anatomy" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "fault/campaign.hh"
-
-namespace {
-
-using namespace mparch;
-using fault::FaultAnatomy;
-
-const char *
-fieldName(FaultAnatomy::Field f)
-{
-    switch (f) {
-      case FaultAnatomy::Field::Sign:         return "sign";
-      case FaultAnatomy::Field::Exponent:     return "exponent";
-      case FaultAnatomy::Field::MantissaHigh: return "mantissa-high";
-      case FaultAnatomy::Field::MantissaLow:  return "mantissa-low";
-    }
-    return "?";
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 1500, 0.15);
-    bench::banner("Extension: vulnerability by IEEE754 bit field",
-                  "exponent flips always critical; low-mantissa "
-                  "flips harmless in double, consequential in half");
-
-    Table table({"precision", "field", "flips", "avf-sdc",
-                 "critical(>1%) share of SDCs"});
-    for (auto p : fp::allPrecisions) {
-        auto w = workloads::makeWorkload("mxm", p, args.scale);
-        fault::CampaignConfig config;
-        config.trials = args.trials;
-        config.recordAnatomy = true;
-        const auto r = fault::runMemoryCampaign(*w, config);
-
-        for (auto field : {FaultAnatomy::Field::Sign,
-                           FaultAnatomy::Field::Exponent,
-                           FaultAnatomy::Field::MantissaHigh,
-                           FaultAnatomy::Field::MantissaLow}) {
-            std::uint64_t flips = 0, sdc = 0, critical = 0;
-            for (const auto &a : r.anatomy) {
-                if (a.field != field)
-                    continue;
-                ++flips;
-                if (a.outcome == fault::OutcomeKind::Sdc) {
-                    ++sdc;
-                    critical += a.maxRel > 0.01;
-                }
-            }
-            table.row()
-                .cell(std::string(fp::precisionName(p)))
-                .cell(fieldName(field))
-                .cell(static_cast<std::int64_t>(flips))
-                .cell(flips ? static_cast<double>(sdc) / flips : 0.0,
-                      3)
-                .cell(sdc ? static_cast<double>(critical) / sdc
-                          : 0.0,
-                      3);
-        }
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "ext_bit_anatomy");
 }

@@ -1,48 +1,15 @@
 /**
  * @file
- * Extension: the full SDC deviation distribution, not just its TRE
- * integral.
- *
- * The paper's criticality figures integrate the deviation
- * distribution from each TRE threshold upward; this bench prints the
- * distribution itself (decade-bucketed relative deviations of every
- * SDC from the GEMM datapath campaign). The shapes make the
- * integrals obvious at a glance: double's mass piles up below 1e-6
- * (mantissa tail flips), half's masses in the 1e-2..1e0 decades, and
- * every precision keeps a spike of catastrophic (>= 1e2 and
- * non-finite) outcomes from exponent strikes.
+ * Thin shim over the "ext_deviation_histogram" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "common/histogram.hh"
-#include "fault/campaign.hh"
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 800, 0.15);
-    bench::banner("Extension: SDC deviation histograms (GEMM, "
-                  "functional-unit faults)",
-                  "double's mass in the sub-1e-6 decades, half's in "
-                  "1e-2..1e0; exponent spikes everywhere");
-
-    for (auto p : fp::allPrecisions) {
-        auto w = workloads::makeWorkload("mxm", p, args.scale);
-        fault::CampaignConfig config;
-        config.trials = args.trials;
-        const auto r = fault::runDatapathCampaign(*w, config);
-
-        LogHistogram histogram(-10, 13);  // 1e-10 .. 1e3
-        for (const auto &rec : r.corpus)
-            histogram.add(rec.maxRel);
-        std::cout << "--- " << fp::precisionName(p) << " ("
-                  << r.sdc << " SDCs / " << r.trials
-                  << " trials) ---\n"
-                  << histogram.render() << "\n";
-    }
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "ext_deviation_histogram");
 }

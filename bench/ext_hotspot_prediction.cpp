@@ -1,89 +1,15 @@
 /**
  * @file
- * Extension: an out-of-sample prediction from the paper's own logic.
- *
- * Section 6.1 explains LavaMD's FIT trend by its MUL-dominated mix
- * and MxM's by its FMA chain. Hotspot (not in the paper) is
- * ADDITION-dominated — neighbour sums in a 5-point stencil — so the
- * same logic predicts its precision trend should follow Micro-ADD:
- * single and half *above* double, the inverse of LavaMD. This bench
- * makes that prediction and tests it, printing each code's SDC FIT
- * trend next to the micro trend it is expected to track.
+ * Thin shim over the "ext_hotspot_prediction" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include <cmath>
-
-namespace {
-
-using namespace mparch;
-
-/** Normalised-to-double FIT triple. */
-struct Trend
-{
-    double d = 1.0, s = 0.0, h = 0.0;
-};
-
-Trend
-trendOf(const core::StudyResult &result)
-{
-    Trend t;
-    const double base = result.find(fp::Precision::Double)->fitSdc;
-    t.s = result.find(fp::Precision::Single)->fitSdc / base;
-    t.h = result.find(fp::Precision::Half)->fitSdc / base;
-    return t;
-}
-
-double
-distance(const Trend &a, const Trend &b)
-{
-    return std::abs(a.s - b.s) + std::abs(a.h - b.h);
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 300, 0.25);
-    bench::banner("Extension: Hotspot trend prediction",
-                  "the ADD-dominated stencil must track Micro-ADD "
-                  "(single/half >= double), unlike LavaMD");
-
-    const auto add = trendOf(
-        bench::study(core::Architecture::Gpu, "micro-add", args));
-    const auto mul = trendOf(
-        bench::study(core::Architecture::Gpu, "micro-mul", args));
-    const auto hotspot = trendOf(
-        bench::study(core::Architecture::Gpu, "hotspot", args));
-    const auto lavamd = trendOf(
-        bench::study(core::Architecture::Gpu, "lavamd", args));
-
-    Table table({"code", "single/double", "half/double",
-                 "closer-to"});
-    auto emit = [&](const char *name, const Trend &t) {
-        const char *closer =
-            distance(t, add) < distance(t, mul) ? "micro-add"
-                                                : "micro-mul";
-        table.row().cell(name).cell(t.s, 2).cell(t.h, 2).cell(
-            closer);
-    };
-    table.row().cell("micro-add").cell(add.s, 2).cell(add.h, 2).cell(
-        "-");
-    table.row().cell("micro-mul").cell(mul.s, 2).cell(mul.h, 2).cell(
-        "-");
-    emit("hotspot", hotspot);
-    emit("lavamd", lavamd);
-    table.print(std::cout);
-
-    std::cout << (distance(hotspot, add) < distance(hotspot, mul)
-                      ? "prediction CONFIRMED: hotspot tracks "
-                        "micro-add\n"
-                      : "prediction FAILED: hotspot tracks "
-                        "micro-mul\n");
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "ext_hotspot_prediction");
 }

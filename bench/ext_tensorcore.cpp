@@ -1,67 +1,15 @@
 /**
  * @file
- * Extension: tensor-core-style mixed precision under injection.
- *
- * The natural question after the paper: Volta's tensor cores store
- * and multiply in half but accumulate in single — does that recover
- * the criticality half gives up? This bench runs the CAROL-FI memory
- * campaign on three GEMM variants: pure half, pure single, and the
- * mixed tensor-core contract, comparing SDC AVF and the criticality
- * tail. Expectation: the mixed variant's *storage* exposure stays
- * half-sized, while its accumulator faults behave like single's —
- * the criticality profile lands between the pure variants, closer to
- * single.
+ * Thin shim over the "ext_tensorcore" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "fault/campaign.hh"
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 500, 0.15);
-    bench::banner("Extension: tensor-core mixed-precision GEMM",
-                  "mixed (half-in, single-accumulate) criticality "
-                  "falls between pure half and pure single");
-
-    struct Variant
-    {
-        const char *label;
-        workloads::WorkloadPtr w;
-    };
-    std::vector<Variant> variants;
-    variants.push_back(
-        {"half", workloads::makeWorkload("mxm", fp::Precision::Half,
-                                         args.scale)});
-    variants.push_back(
-        {"mixed(h->s)",
-         workloads::makeWorkload("mxm-mixed", fp::Precision::Single,
-                                 args.scale)});
-    variants.push_back(
-        {"single", workloads::makeWorkload(
-                       "mxm", fp::Precision::Single, args.scale)});
-
-    Table table({"variant", "storage-bits", "avf-sdc",
-                 "remain@0.1%", "remain@1%"});
-    for (auto &variant : variants) {
-        variant.w->reset(1);
-        std::uint64_t bits = 0;
-        for (const auto &view : variant.w->buffers())
-            bits += view.bits();
-        fault::CampaignConfig config;
-        config.trials = args.trials;
-        const auto r = fault::runMemoryCampaign(*variant.w, config);
-        table.row()
-            .cell(variant.label)
-            .cell(static_cast<std::int64_t>(bits))
-            .cell(r.avfSdc(), 3)
-            .cell(r.survivingFraction(1e-3), 3)
-            .cell(r.survivingFraction(1e-2), 3);
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "ext_tensorcore");
 }

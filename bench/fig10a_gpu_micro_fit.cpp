@@ -1,14 +1,9 @@
 /**
  * @file
- * Reproduces Figure 10a: SDC and DUE FIT of the Volta
- * microbenchmarks (Micro-MUL / ADD / FMA) at the three precisions.
- *
- * Shape targets (paper Section 6.1): MUL orders double > single >
- * half (wider multiplier state dominates); ADD orders the opposite
- * way with single and half very close (more active FP32 cores
- * dominate the thinner adder); FMA combines both (double high,
- * single close, half clearly lowest); FMA > MUL > ADD at fixed
- * precision; DUE is roughly flat and far below the full apps'.
+ * Thin shim over the "fig10a_gpu_micro_fit" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -16,30 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 400, 0.3);
-    bench::banner("Figure 10a: Volta micro FIT (a.u.)",
-                  "MUL: D>S>H; ADD: S~H>D; FMA: D~S>H; FMA>MUL>ADD");
-
-    Table table({"micro", "precision", "fit-sdc(a.u.)",
-                 "fit-due(a.u.)", "sdc norm-to-double"});
-    for (const std::string name :
-         {"micro-mul", "micro-add", "micro-fma"}) {
-        const auto result =
-            bench::study(core::Architecture::Gpu, name, args);
-        const double base =
-            result.find(fp::Precision::Double)->fitSdc;
-        for (const auto &row : result.rows) {
-            table.row()
-                .cell(name)
-                .cell(std::string(fp::precisionName(row.precision)))
-                .cell(row.fitSdc, 0)
-                .cell(row.fitDue, 0)
-                .cell(row.fitSdc / base, 2);
-        }
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig10a_gpu_micro_fit");
 }

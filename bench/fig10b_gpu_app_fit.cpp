@@ -1,14 +1,9 @@
 /**
  * @file
- * Reproduces Figure 10b: SDC and DUE FIT of LavaMD and MxM on the
- * Titan V.
- *
- * Shape targets: MxM sits far above LavaMD (memory-bound, data waits
- * exposed in unprotected caches/registers); LavaMD's precision trend
- * follows Micro-MUL (its mix is MUL-dominated) and MxM's follows
- * Micro-FMA (a fused multiply-accumulate chain); app DUE is roughly
- * an order of magnitude above the micro kernels', with double's
- * longer occupancy the worst.
+ * Thin shim over the "fig10b_gpu_app_fit" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -16,37 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 300, 0.3);
-    bench::banner("Figure 10b: Volta LavaMD and MxM FIT (a.u.)",
-                  "MxM >> LavaMD; LavaMD tracks MUL, MxM tracks FMA; "
-                  "app DUE ~10x micro DUE");
-
-    Table table({"benchmark", "precision", "fit-sdc(a.u.)",
-                 "fit-due(a.u.)", "sdc norm-to-double"});
-    double lavamd_d = 0.0, mxm_d = 0.0;
-    for (const std::string name : {"lavamd", "mxm"}) {
-        const auto result =
-            bench::study(core::Architecture::Gpu, name, args);
-        const double base =
-            result.find(fp::Precision::Double)->fitSdc;
-        if (name == "lavamd")
-            lavamd_d = base;
-        else
-            mxm_d = base;
-        for (const auto &row : result.rows) {
-            table.row()
-                .cell(name)
-                .cell(std::string(fp::precisionName(row.precision)))
-                .cell(row.fitSdc, 0)
-                .cell(row.fitDue, 0)
-                .cell(row.fitSdc / base, 2);
-        }
-    }
-    table.print(std::cout);
-    std::cout << "MxM / LavaMD SDC FIT ratio (double): "
-              << mxm_d / lavamd_d << "\n";
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig10b_gpu_app_fit");
 }

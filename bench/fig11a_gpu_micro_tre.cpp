@@ -1,13 +1,9 @@
 /**
  * @file
- * Reproduces Figure 11a: FIT reduction vs TRE for the Volta
- * microbenchmarks.
- *
- * Shape targets: double benefits from the greatest reduction (a
- * fault in 64-bit data/operations usually lands far down the
- * mantissa), single and half behave similarly; ADD and FMA reduce
- * less than MUL (operands are normalised before addition, so a flip
- * in the aligned significand is either discarded or significant).
+ * Thin shim over the "fig11a_gpu_micro_tre" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -15,31 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 500, 0.3);
-    bench::banner("Figure 11a: Volta micro FIT reduction vs TRE",
-                  "double reduces most; single ~ half; MUL reduces "
-                  "more than ADD/FMA");
-
-    for (const std::string name :
-         {"micro-mul", "micro-add", "micro-fma"}) {
-        const auto result =
-            bench::study(core::Architecture::Gpu, name, args);
-        const auto *d = result.find(fp::Precision::Double);
-        const auto *s = result.find(fp::Precision::Single);
-        const auto *h = result.find(fp::Precision::Half);
-        Table table({"tre", "double", "single", "half"});
-        table.setTitle(name + " (fraction of FIT remaining)");
-        for (std::size_t i = 0; i < d->tre.thresholds.size(); ++i) {
-            table.row()
-                .cell(d->tre.thresholds[i], 4)
-                .cell(d->tre.remaining[i], 3)
-                .cell(s->tre.remaining[i], 3)
-                .cell(h->tre.remaining[i], 3);
-        }
-        table.print(std::cout);
-    }
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig11a_gpu_micro_tre");
 }

@@ -1,13 +1,9 @@
 /**
  * @file
- * Reproduces Figure 11b: FIT reduction vs TRE for LavaMD and MxM on
- * the Titan V.
- *
- * Shape targets: half is the most critical data type (its remaining
- * fraction stays highest), then single, then double; LavaMD's curves
- * track Micro-MUL's (its instruction mix), and its reduction is
- * steeper than on the Xeon Phi (the GPU evaluates exp() in software
- * and has no ECC, paper Section 6.3).
+ * Thin shim over the "fig11b_gpu_app_tre" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -15,29 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 500, 0.3);
-    bench::banner("Figure 11b: Volta LavaMD/MxM FIT reduction vs TRE",
-                  "remaining fraction: half > single > double");
-
-    for (const std::string name : {"lavamd", "mxm"}) {
-        const auto result =
-            bench::study(core::Architecture::Gpu, name, args);
-        const auto *d = result.find(fp::Precision::Double);
-        const auto *s = result.find(fp::Precision::Single);
-        const auto *h = result.find(fp::Precision::Half);
-        Table table({"tre", "double", "single", "half"});
-        table.setTitle(name + " (fraction of FIT remaining)");
-        for (std::size_t i = 0; i < d->tre.thresholds.size(); ++i) {
-            table.row()
-                .cell(d->tre.thresholds[i], 4)
-                .cell(d->tre.remaining[i], 3)
-                .cell(s->tre.remaining[i], 3)
-                .cell(h->tre.remaining[i], 3);
-        }
-        table.print(std::cout);
-    }
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig11b_gpu_app_tre");
 }

@@ -1,13 +1,9 @@
 /**
  * @file
- * Reproduces Figure 11c: SDC criticality split for the detection CNN
- * — tolerable / detection changed (boxes move, appear or vanish) /
- * classification changed.
- *
- * Shape targets: tolerable errors are the majority everywhere; the
- * critical (classification-change) share is larger for single and
- * half than for double; detection changes depend less on the data
- * type because positions are integer-valued (paper Section 6.3).
+ * Thin shim over the "fig11c_gpu_yolo_crit" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -15,25 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 600, 1.0);
-    bench::banner("Figure 11c: YOLite SDC criticality split",
-                  "tolerable majority; critical share larger for "
-                  "single/half than double");
-
-    const auto result =
-        bench::study(core::Architecture::Gpu, "yolite", args);
-    Table table({"precision", "tolerable", "detection-change",
-                 "classification-change"});
-    for (const auto &row : result.rows) {
-        table.row()
-            .cell(std::string(fp::precisionName(row.precision)))
-            .cell(row.severity.tolerable, 3)
-            .cell(row.severity.detectionChange, 3)
-            .cell(row.severity.criticalChange, 3);
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig11c_gpu_yolo_crit");
 }

@@ -1,52 +1,15 @@
 /**
  * @file
- * Reproduces Figure 12: Architectural Vulnerability Factor of the
- * Volta microbenchmarks, measured by flipping one bit of a randomly
- * selected register at a random execution instant and replaying the
- * dependent chain through the softfloat core.
- *
- * Shape targets: double's AVF is roughly twice single's for every
- * operation (a double occupies two 32-bit registers, so twice the
- * allocated bits are live), and single ~= half (half2 packs two live
- * half values into the same 32-bit register a single would use).
+ * Thin shim over the "fig12_gpu_avf" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "arch/gpu/regfile.hh"
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 4000, 1.0);
-    bench::banner("Figure 12: Volta micro AVF (register injection)",
-                  "AVF(double) ~ 2x AVF(single) ~ 2x; single ~ half");
-
-    Table table({"micro", "precision", "avf", "ci95-lo", "ci95-hi",
-                 "norm-to-single"});
-    for (auto op : {workloads::MicroOp::Mul, workloads::MicroOp::Add,
-                    workloads::MicroOp::Fma}) {
-        const double single_avf =
-            gpu::measureRegFileAvf(op, fp::Precision::Single,
-                                   args.trials, 5)
-                .avfSdc();
-        for (auto p : fp::allPrecisions) {
-            const auto r =
-                gpu::measureRegFileAvf(op, p, args.trials, 5);
-            const auto ci = r.avf95();
-            table.row()
-                .cell(std::string("micro-") +
-                      workloads::microOpName(op))
-                .cell(std::string(fp::precisionName(p)))
-                .cell(r.avfSdc(), 3)
-                .cell(ci.lo, 3)
-                .cell(ci.hi, 3)
-                .cell(r.avfSdc() / single_avf, 2);
-        }
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig12_gpu_avf");
 }

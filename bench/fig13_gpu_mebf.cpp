@@ -1,14 +1,9 @@
 /**
  * @file
- * Reproduces Figure 13: Mean Executions Between Failures on the
- * Titan V for the microbenchmarks, LavaMD, MxM and the detection CNN.
- *
- * Shape targets: MEBF rises as precision shrinks for every
- * arithmetic benchmark, and the realistic codes gain far more than
- * the micro kernels (their reduced-precision runs are also much
- * faster). YOLite's half row inherits the Figure 10c deviation
- * (half SDC not lowest) plus the genuine half slowdown, so it is the
- * one row whose direction differs from the paper.
+ * Thin shim over the "fig13_gpu_mebf" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -16,33 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 300, 0.3);
-    bench::banner("Figure 13: Volta MEBF (a.u.)",
-                  "MEBF rises with reduced precision; apps gain more "
-                  "than micro kernels");
-
-    Table table({"benchmark", "precision", "mebf(a.u.)",
-                 "norm-to-double"});
-    for (const std::string name :
-         {"micro-mul", "micro-add", "micro-fma", "lavamd", "mxm",
-          "yolite"}) {
-        bench::BenchArgs a = args;
-        if (name == "yolite")
-            a.scale = 1.0;
-        const auto result =
-            bench::study(core::Architecture::Gpu, name, a);
-        const double base = result.find(fp::Precision::Double)->mebf;
-        for (const auto &row : result.rows) {
-            table.row()
-                .cell(name)
-                .cell(std::string(fp::precisionName(row.precision)))
-                .cell(row.mebf, 4)
-                .cell(row.mebf / base, 2);
-        }
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig13_gpu_mebf");
 }

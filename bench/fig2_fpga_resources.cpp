@@ -1,55 +1,15 @@
 /**
  * @file
- * Reproduces Figure 2: FPGA resource utilisation (LUT / DSP / BRAM)
- * for MxM and MNIST at the three precisions.
- *
- * Shape targets (paper Section 4.1): MxM loses ~45% of its area from
- * double to single and ~36% more to half; MNIST ~53% and ~26%; MNIST
- * occupies more fabric than MxM at every precision.
+ * Thin shim over the "fig2_fpga_resources" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "arch/fpga/fpga.hh"
-#include "fault/campaign.hh"
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 0, 0.3);
-    bench::banner("Figure 2: FPGA resource utilisation",
-                  "MxM area -45% (D->S) then -36% (S->H); MNIST -53% "
-                  "then -26%; MNIST > MxM");
-
-    Table table({"benchmark", "precision", "LUTs", "DSPs", "BRAMs",
-                 "config-bits", "area-drop-vs-prev"});
-    for (const std::string name : {"mxm", "mnist"}) {
-        double prev_luts = 0.0;
-        for (auto p : fp::allPrecisions) {
-            auto w = nn::makeAnyWorkload(name, p, args.scale);
-            const fault::GoldenRun golden(*w, 99);
-            const auto c = fpga::synthesize(*w, golden);
-            std::string drop = "-";
-            if (prev_luts > 0.0) {
-                char buf[32];
-                std::snprintf(buf, sizeof(buf), "%.0f%%",
-                              100.0 * (1.0 - c.luts / prev_luts));
-                drop = buf;
-            }
-            prev_luts = c.luts;
-            table.row()
-                .cell(name)
-                .cell(std::string(fp::precisionName(p)))
-                .cell(c.luts, 0)
-                .cell(c.dsps, 0)
-                .cell(c.brams, 0)
-                .cell(c.configBits, 0)
-                .cell(drop);
-        }
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig2_fpga_resources");
 }

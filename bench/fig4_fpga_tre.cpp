@@ -1,12 +1,9 @@
 /**
  * @file
- * Reproduces Figure 4: FIT rate reduction of MxM on the FPGA as the
- * Tolerated Relative Error grows.
- *
- * Shape targets: double's FIT collapses fastest (paper: 63% of its
- * errors already tolerable at TRE = 0.1%), single reduces less, and
- * half stays nearly flat — because a flip in a narrower format is
- * more likely to strike a significant bit.
+ * Thin shim over the "fig4_fpga_tre" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -14,30 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 400, 0.3);
-    bench::banner(
-        "Figure 4: FPGA MxM FIT reduction vs TRE",
-        "double drops fastest (~37% of FIT left at 0.1% TRE), single "
-        "less, half nearly flat");
-
-    const auto result =
-        bench::study(core::Architecture::Fpga, "mxm", args);
-
-    Table table({"tre", "double", "single", "half"});
-    table.setTitle("fraction of TRE=0 FIT remaining");
-    const auto *d = result.find(fp::Precision::Double);
-    const auto *s = result.find(fp::Precision::Single);
-    const auto *h = result.find(fp::Precision::Half);
-    for (std::size_t i = 0; i < d->tre.thresholds.size(); ++i) {
-        table.row()
-            .cell(d->tre.thresholds[i], 4)
-            .cell(d->tre.remaining[i], 3)
-            .cell(s->tre.remaining[i], 3)
-            .cell(h->tre.remaining[i], 3);
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig4_fpga_tre");
 }

@@ -1,10 +1,9 @@
 /**
  * @file
- * Reproduces Figure 5: Mean Executions Between Failures on the FPGA.
- *
- * Shape targets: MEBF grows monotonically as precision shrinks;
- * paper quotes half-precision MxM completing ~33% more executions
- * between errors than single, and MNIST ~26% more.
+ * Thin shim over the "fig5_fpga_mebf" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -12,39 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 300, 0.3);
-    bench::banner("Figure 5: FPGA MEBF (a.u.)",
-                  "MEBF rises as precision drops; half/single gain "
-                  "~33% (MxM) and ~26% (MNIST)");
-
-    Table table({"benchmark", "precision", "mebf(a.u.)",
-                 "norm-to-double", "gain-vs-prev"});
-    for (const std::string name : {"mxm", "mnist"}) {
-        const auto result =
-            bench::study(core::Architecture::Fpga, name, args);
-        double base = 0.0, prev = 0.0;
-        for (const auto &row : result.rows) {
-            if (row.precision == fp::Precision::Double)
-                base = row.mebf;
-            std::string gain = "-";
-            if (prev > 0.0) {
-                char buf[32];
-                std::snprintf(buf, sizeof(buf), "+%.0f%%",
-                              100.0 * (row.mebf / prev - 1.0));
-                gain = buf;
-            }
-            prev = row.mebf;
-            table.row()
-                .cell(name)
-                .cell(std::string(fp::precisionName(row.precision)))
-                .cell(row.mebf, 5)
-                .cell(row.mebf / base, 2)
-                .cell(gain);
-        }
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig5_fpga_mebf");
 }

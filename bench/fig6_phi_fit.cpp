@@ -1,12 +1,9 @@
 /**
  * @file
- * Reproduces Figure 6: SDC and DUE FIT on the Xeon Phi.
- *
- * Shape targets: single's SDC FIT exceeds double's for LavaMD and
- * MxM (the compiler instantiates 33% / 47% more vector registers —
- * more unprotected functional-unit state) and matches it for LUD
- * (same allocation); single's DUE FIT exceeds double's for all three
- * codes (16 lanes carry twice the control bits of 8).
+ * Thin shim over the "fig6_phi_fit" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -14,34 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 300, 0.3);
-    bench::banner("Figure 6: Xeon Phi SDC and DUE FIT (a.u.)",
-                  "SDC: single > double for LavaMD/MxM, equal for "
-                  "LUD; DUE: single > double everywhere");
-
-    Table table({"benchmark", "precision", "vregs", "fit-sdc(a.u.)",
-                 "fit-due(a.u.)", "sdc single/double",
-                 "due single/double"});
-    for (const std::string name : {"lavamd", "mxm", "lud"}) {
-        const auto result =
-            bench::study(core::Architecture::XeonPhi, name, args);
-        const auto *d = result.find(fp::Precision::Double);
-        const auto *s = result.find(fp::Precision::Single);
-        for (const auto *row : {d, s}) {
-            table.row()
-                .cell(name)
-                .cell(std::string(fp::precisionName(row->precision)))
-                .cell(static_cast<std::int64_t>(
-                    row->vectorRegisters))
-                .cell(row->fitSdc, 0)
-                .cell(row->fitDue, 0)
-                .cell(row == s ? s->fitSdc / d->fitSdc : 1.0, 2)
-                .cell(row == s ? s->fitDue / d->fitDue : 1.0, 2);
-        }
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig6_phi_fit");
 }

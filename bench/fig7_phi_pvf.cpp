@@ -1,13 +1,9 @@
 /**
  * @file
- * Reproduces Figure 7: Program Vulnerability Factor on the Xeon Phi,
- * measured CAROL-FI style (single bit flip in a random live variable
- * at a random execution instant).
- *
- * Shape target: PVF is similar for single and double within each
- * code — the precision changes how often faults *occur* (Figure 6),
- * not how they *propagate* — which is the paper's key decomposition
- * of its beam results (Section 5.2).
+ * Thin shim over the "fig7_phi_pvf" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -15,26 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 500, 0.3);
-    bench::banner("Figure 7: Xeon Phi PVF",
-                  "PVF(single) ~= PVF(double) for every code");
-
-    Table table({"benchmark", "pvf-double", "pvf-single",
-                 "|difference|"});
-    for (const std::string name : {"lavamd", "mxm", "lud"}) {
-        const auto result =
-            bench::study(core::Architecture::XeonPhi, name, args);
-        const double pd = result.find(fp::Precision::Double)->pvf;
-        const double ps = result.find(fp::Precision::Single)->pvf;
-        table.row()
-            .cell(name)
-            .cell(pd, 3)
-            .cell(ps, 3)
-            .cell(std::abs(pd - ps), 3);
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig7_phi_pvf");
 }

@@ -1,16 +1,9 @@
 /**
  * @file
- * Reproduces Figure 8: FIT reduction vs TRE for LavaMD, MxM and LUD
- * on the Xeon Phi.
- *
- * Shape targets: double enjoys the better FIT reduction for LUD and
- * (marginally) MxM. The paper additionally measures an *inversion*
- * for LavaMD — single reducing faster than double — which it
- * attributes to the double build's heavier use of the KNC's
- * table-based transcendental unit, whose faults are catastrophic.
- * Our software polynomial exp() attenuates in-chain faults instead,
- * so the inversion does not emerge; EXPERIMENTS.md records this as a
- * known deviation.
+ * Thin shim over the "fig8_phi_tre" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -18,28 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 500, 0.3);
-    bench::banner("Figure 8: Xeon Phi FIT reduction vs TRE",
-                  "double reduces faster for LUD and (slightly) MxM; "
-                  "paper's LavaMD inversion is a documented deviation");
-
-    for (const std::string name : {"lavamd", "mxm", "lud"}) {
-        const auto result =
-            bench::study(core::Architecture::XeonPhi, name, args);
-        const auto *d = result.find(fp::Precision::Double);
-        const auto *s = result.find(fp::Precision::Single);
-        Table table({"tre", "double-remaining", "single-remaining"});
-        table.setTitle(name);
-        for (std::size_t i = 0; i < d->tre.thresholds.size(); ++i) {
-            table.row()
-                .cell(d->tre.thresholds[i], 4)
-                .cell(d->tre.remaining[i], 3)
-                .cell(s->tre.remaining[i], 3);
-        }
-        table.print(std::cout);
-    }
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig8_phi_tre");
 }

@@ -1,10 +1,9 @@
 /**
  * @file
- * Reproduces Figure 9: Mean Executions Between Failures on the Phi.
- *
- * Shape targets: single wins for LavaMD and LUD (its ~35% speedup
- * outruns its higher FIT), while double wins for MxM (single is both
- * slower and more exposed).
+ * Thin shim over the "fig9_phi_mebf" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
@@ -12,27 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 300, 0.3);
-    bench::banner("Figure 9: Xeon Phi MEBF (a.u.)",
-                  "single wins LavaMD and LUD; double wins MxM");
-
-    Table table({"benchmark", "mebf-double", "mebf-single",
-                 "single/double", "winner"});
-    for (const std::string name : {"lavamd", "mxm", "lud"}) {
-        const auto result =
-            bench::study(core::Architecture::XeonPhi, name, args);
-        const double md = result.find(fp::Precision::Double)->mebf;
-        const double ms = result.find(fp::Precision::Single)->mebf;
-        table.row()
-            .cell(name)
-            .cell(md, 4)
-            .cell(ms, 4)
-            .cell(ms / md, 2)
-            .cell(ms > md ? "single" : "double");
-    }
-    table.print(std::cout);
-
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "fig9_phi_mebf");
 }

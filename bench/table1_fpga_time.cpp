@@ -1,79 +1,15 @@
 /**
  * @file
- * Reproduces Table 1: benchmark execution times on the Zynq-7000.
- *
- * Absolute seconds differ from the paper (our problem sizes are
- * scaled down for Monte Carlo turnaround); the comparison target is
- * the ratio pattern: times shrink from double to single, and MxM in
- * half is slightly *slower* than single (half forgoes the DSP
- * cascade), while MNIST's half and single are on par.
+ * Thin shim over the "table1_fpga_time" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "arch/fpga/fpga.hh"
-#include "arch/fpga/params.hh"
-#include "fault/campaign.hh"
-
-namespace {
-
-using namespace mparch;
-
-/** Paper Table 1 reference values in seconds. */
-double
-paperTime(const std::string &w, fp::Precision p)
-{
-    if (w == "mnist") {
-        return p == fp::Precision::Double ? 0.011 : 0.009;
-    }
-    switch (p) {
-      case fp::Precision::Double: return 2.730;
-      case fp::Precision::Single: return 2.100;
-      case fp::Precision::Half:   return 2.310;
-      default:                    return 0.0;
-    }
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 0, 0.3);
-    bench::banner(
-        "Table 1: Zynq-7000 execution time [s] (model vs paper)",
-        "time drops double->single; MxM half slightly slower than "
-        "single");
-
-    Table table({"benchmark", "precision", "model[s]",
-                 "model(norm to double)", "paper[s]",
-                 "paper(norm to double)"});
-    for (const std::string name : {"mnist", "mxm"}) {
-        double model_double = 0.0;
-        for (auto p : fp::allPrecisions) {
-            auto w = nn::makeAnyWorkload(name, p, args.scale);
-            const fault::GoldenRun golden(*w, 99);
-            const auto circuit = fpga::synthesize(*w, golden);
-            const double t =
-                circuit.cycles / fpga::clockHz(p);
-            if (p == fp::Precision::Double)
-                model_double = t;
-            table.row()
-                .cell(name)
-                .cell(std::string(fp::precisionName(p)))
-                .cell(t, 6)
-                .cell(t / model_double, 3)
-                .cell(paperTime(name, p), 3)
-                .cell(paperTime(name, p) /
-                          paperTime(name, fp::Precision::Double),
-                      3);
-        }
-    }
-    table.print(std::cout);
-
-    for (auto p : fp::allPrecisions)
-        bench::registerKernelTiming("mxm", p, args.scale);
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "table1_fpga_time");
 }

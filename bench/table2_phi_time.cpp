@@ -1,71 +1,15 @@
 /**
  * @file
- * Reproduces Table 2: benchmark execution times on the Xeon Phi.
- *
- * Shape targets: single is ~35% faster for LavaMD and LUD (twice the
- * SIMD lanes, partially offset by fixed overheads) but ~13% *slower*
- * for MxM (the prefetcher covers fewer bytes per element stream in
- * single — the paper's compiler-report finding, Section 5.4).
+ * Thin shim over the "table2_phi_time" experiment registry entry. All logic —
+ * tables, paper reference values, shape checks, campaign knobs —
+ * lives in src/report/; this binary only preserves the historical
+ * name, CLI and google-benchmark timing hook.
  */
 
 #include "bench_util.hh"
 
-#include "arch/phi/phi.hh"
-#include "fault/campaign.hh"
-
-namespace {
-
-using namespace mparch;
-
-double
-paperTime(const std::string &w, fp::Precision p)
-{
-    const bool d = p == fp::Precision::Double;
-    if (w == "lavamd")
-        return d ? 1.307 : 0.801;
-    if (w == "mxm")
-        return d ? 10.612 : 12.028;
-    return d ? 1.264 : 0.818;  // lud
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    using namespace mparch;
-    const auto args = bench::parseArgs(argc, argv, 0, 0.3);
-    bench::banner(
-        "Table 2: Xeon Phi execution time [s] (model vs paper)",
-        "single ~35% faster for LavaMD/LUD, ~13% slower for MxM");
-
-    Table table({"benchmark", "precision", "model[s]",
-                 "model single/double", "paper[s]",
-                 "paper single/double"});
-    for (const std::string name : {"lavamd", "mxm", "lud"}) {
-        double model_double = 0.0;
-        for (auto p :
-             {fp::Precision::Double, fp::Precision::Single}) {
-            auto w = workloads::makeWorkload(name, p, args.scale);
-            const fault::GoldenRun golden(*w, 99);
-            const double t = phi::phiTimeSeconds(*w, golden);
-            if (p == fp::Precision::Double)
-                model_double = t;
-            table.row()
-                .cell(name)
-                .cell(std::string(fp::precisionName(p)))
-                .cell(t, 7)
-                .cell(t / model_double, 3)
-                .cell(paperTime(name, p), 3)
-                .cell(paperTime(name, p) /
-                          paperTime(name, fp::Precision::Double),
-                      3);
-        }
-    }
-    table.print(std::cout);
-
-    for (auto p : {fp::Precision::Double, fp::Precision::Single})
-        bench::registerKernelTiming("lud", p, args.scale);
-    bench::runRegisteredBenchmarks(&argc, argv);
-    return 0;
+    return mparch::bench::shimMain(argc, argv, "table2_phi_time");
 }

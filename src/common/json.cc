@@ -1,0 +1,457 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mparch::json {
+
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char ch : text) {
+        switch (ch) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (ch < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += static_cast<char>(ch);
+            }
+        }
+    }
+    return out;
+}
+
+void
+Writer::newline()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+Writer::beforeValue()
+{
+    if (stack_.empty())
+        return;
+    Level &level = stack_.back();
+    if (level.isObject) {
+        MPARCH_ASSERT(keyPending_,
+                      "json: object member needs a key()");
+        keyPending_ = false;
+        return;
+    }
+    if (!level.first)
+        os_ << ',';
+    level.first = false;
+    newline();
+}
+
+Writer &
+Writer::key(const std::string &name)
+{
+    MPARCH_ASSERT(!stack_.empty() && stack_.back().isObject,
+                  "json: key() outside an object");
+    MPARCH_ASSERT(!keyPending_, "json: key() after key()");
+    Level &level = stack_.back();
+    if (!level.first)
+        os_ << ',';
+    level.first = false;
+    newline();
+    os_ << '"' << escape(name) << "\": ";
+    keyPending_ = true;
+    return *this;
+}
+
+Writer &
+Writer::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    stack_.push_back({true, true});
+    return *this;
+}
+
+Writer &
+Writer::endObject()
+{
+    MPARCH_ASSERT(!stack_.empty() && stack_.back().isObject,
+                  "json: endObject() without beginObject()");
+    const bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << '}';
+    return *this;
+}
+
+Writer &
+Writer::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    stack_.push_back({false, true});
+    return *this;
+}
+
+Writer &
+Writer::endArray()
+{
+    MPARCH_ASSERT(!stack_.empty() && !stack_.back().isObject,
+                  "json: endArray() without beginArray()");
+    const bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << ']';
+    return *this;
+}
+
+Writer &
+Writer::value(const std::string &text)
+{
+    beforeValue();
+    os_ << '"' << escape(text) << '"';
+    return *this;
+}
+
+Writer &
+Writer::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+Writer &
+Writer::value(double number)
+{
+    if (!std::isfinite(number))
+        return null();
+    beforeValue();
+    // Shortest representation that round-trips a double.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
+    double back = std::strtod(buf, nullptr);
+    if (back == number) {
+        for (int prec = 1; prec < 17; ++prec) {
+            char tight[32];
+            std::snprintf(tight, sizeof(tight), "%.*g", prec,
+                          number);
+            if (std::strtod(tight, nullptr) == number) {
+                std::snprintf(buf, sizeof(buf), "%s", tight);
+                break;
+            }
+        }
+    }
+    os_ << buf;
+    return *this;
+}
+
+Writer &
+Writer::value(std::int64_t number)
+{
+    beforeValue();
+    os_ << number;
+    return *this;
+}
+
+Writer &
+Writer::value(std::uint64_t number)
+{
+    beforeValue();
+    os_ << number;
+    return *this;
+}
+
+Writer &
+Writer::value(unsigned number)
+{
+    return value(static_cast<std::uint64_t>(number));
+}
+
+Writer &
+Writer::value(int number)
+{
+    return value(static_cast<std::int64_t>(number));
+}
+
+Writer &
+Writer::value(bool flag)
+{
+    beforeValue();
+    os_ << (flag ? "true" : "false");
+    return *this;
+}
+
+Writer &
+Writer::null()
+{
+    beforeValue();
+    os_ << "null";
+    return *this;
+}
+
+const Value *
+Value::find(const std::string &name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(name);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/** Recursive-descent parser over a char range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    run(Value &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_ && error_->empty()) {
+            *error_ = "json parse error at offset " +
+                      std::to_string(pos_) + ": " + what;
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char ch = text_[pos_];
+        switch (ch) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = Value::Kind::String;
+            return parseString(out.string);
+          case 't':
+            if (!literal("true", 4))
+                return fail("bad literal");
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return true;
+          case 'f':
+            if (!literal("false", 5))
+                return fail("bad literal");
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return true;
+          case 'n':
+            if (!literal("null", 4))
+                return fail("bad literal");
+            out.kind = Value::Kind::Null;
+            return true;
+          default:  return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(begin, &end);
+        if (end == begin)
+            return fail("expected a value");
+        pos_ += static_cast<std::size_t>(end - begin);
+        out.kind = Value::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_;  // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char ch = text_[pos_++];
+            if (ch == '"')
+                return true;
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char hex = text_[pos_++];
+                    code <<= 4;
+                    if (hex >= '0' && hex <= '9')
+                        code |= static_cast<unsigned>(hex - '0');
+                    else if (hex >= 'a' && hex <= 'f')
+                        code |= static_cast<unsigned>(hex - 'a' + 10);
+                    else if (hex >= 'A' && hex <= 'F')
+                        code |= static_cast<unsigned>(hex - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the code point (BMP only; escape
+                // writers only emit control characters here).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        ++pos_;  // '{'
+        out.kind = Value::Kind::Object;
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string name;
+            if (!parseString(name))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_++] != ':')
+                return fail("expected ':' after key");
+            skipSpace();
+            Value member;
+            if (!parseValue(member))
+                return false;
+            out.object.emplace(std::move(name), std::move(member));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            const char next = text_[pos_++];
+            if (next == '}')
+                return true;
+            if (next != ',')
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        ++pos_;  // '['
+        out.kind = Value::Kind::Array;
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            Value element;
+            if (!parseValue(element))
+                return false;
+            out.array.push_back(std::move(element));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            const char next = text_[pos_++];
+            if (next == ']')
+                return true;
+            if (next != ',')
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parse(const std::string &text, Value &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    out = Value{};
+    Parser parser(text, error);
+    return parser.run(out);
+}
+
+} // namespace mparch::json

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "arch/fpga/fpga.hh"
+#include "common/json.hh"
 #include "arch/gpu/gpu.hh"
 #include "arch/phi/phi.hh"
 #include "common/table.hh"
@@ -192,62 +193,48 @@ StudyResult::printReport(std::ostream &os) const
     tre_table.print(os);
 }
 
-namespace {
-
-/** Minimal JSON string escaper (names here are ASCII anyway). */
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    for (char ch : text) {
-        if (ch == '"' || ch == '\\')
-            out += '\\';
-        out += ch;
-    }
-    return out;
-}
-
-} // namespace
-
 void
 StudyResult::writeJson(std::ostream &os) const
 {
-    os << "{\n"
-       << "  \"arch\": \"" << architectureName(config.arch)
-       << "\",\n"
-       << "  \"workload\": \"" << jsonEscape(config.workload)
-       << "\",\n"
-       << "  \"trials\": " << config.trials << ",\n"
-       << "  \"scale\": " << config.scale << ",\n"
-       << "  \"rows\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const auto &row = rows[i];
-        os << "    {\n"
-           << "      \"precision\": \""
-           << fp::precisionName(row.precision) << "\",\n"
-           << "      \"fit_sdc\": " << row.fitSdc << ",\n"
-           << "      \"fit_due\": " << row.fitDue << ",\n"
-           << "      \"time_s\": " << row.timeSeconds << ",\n"
-           << "      \"mebf\": " << row.mebf << ",\n"
-           << "      \"avf_datapath\": " << row.avfDatapath
-           << ",\n"
-           << "      \"pvf\": " << row.pvf << ",\n"
-           << "      \"coverage\": " << row.coverage << ",\n"
-           << "      \"poisoned\": " << row.poisoned << ",\n"
-           << "      \"severity\": {\"tolerable\": "
-           << row.severity.tolerable << ", \"detection_change\": "
-           << row.severity.detectionChange
-           << ", \"critical_change\": "
-           << row.severity.criticalChange << "},\n"
-           << "      \"tre\": [";
-        for (std::size_t t = 0; t < row.tre.thresholds.size(); ++t) {
-            os << (t ? ", " : "") << "[" << row.tre.thresholds[t]
-               << ", " << row.tre.remaining[t] << "]";
+    json::Writer w(os);
+    w.beginObject()
+        .member("arch", architectureName(config.arch))
+        .member("workload", config.workload)
+        .member("trials", config.trials)
+        .member("scale", config.scale);
+    w.key("rows").beginArray();
+    for (const auto &row : rows) {
+        w.beginObject()
+            .member("precision",
+                    std::string(fp::precisionName(row.precision)))
+            .member("fit_sdc", row.fitSdc)
+            .member("fit_due", row.fitDue)
+            .member("time_s", row.timeSeconds)
+            .member("mebf", row.mebf)
+            .member("avf_datapath", row.avfDatapath)
+            .member("pvf", row.pvf)
+            .member("coverage", row.coverage)
+            .member("poisoned", row.poisoned);
+        w.key("severity")
+            .beginObject()
+            .member("tolerable", row.severity.tolerable)
+            .member("detection_change", row.severity.detectionChange)
+            .member("critical_change", row.severity.criticalChange)
+            .endObject();
+        w.key("tre").beginArray();
+        for (std::size_t t = 0; t < row.tre.thresholds.size();
+             ++t) {
+            w.beginArray()
+                .value(row.tre.thresholds[t])
+                .value(row.tre.remaining[t])
+                .endArray();
         }
-        os << "]\n    }" << (i + 1 < rows.size() ? "," : "")
-           << "\n";
+        w.endArray();
+        w.endObject();
     }
-    os << "  ]\n}\n";
+    w.endArray();
+    w.endObject();
+    os << "\n";
 }
 
 } // namespace mparch::core

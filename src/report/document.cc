@@ -1,0 +1,204 @@
+#include "report/document.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace mparch::report {
+
+double
+Cell::asNumber(bool *ok) const
+{
+    if (ok)
+        *ok = kind != Kind::Text;
+    switch (kind) {
+      case Kind::Real: return real;
+      case Kind::Int:  return static_cast<double>(integer);
+      case Kind::Text: return 0.0;
+    }
+    return 0.0;
+}
+
+std::string
+Cell::formatted() const
+{
+    switch (kind) {
+      case Kind::Text:
+        return text;
+      case Kind::Int:
+        return std::to_string(integer);
+      case Kind::Real: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", digits, real);
+        return buf;
+      }
+    }
+    return {};
+}
+
+ResultTable &
+ResultTable::row()
+{
+    MPARCH_ASSERT(rows_.empty() ||
+                      rows_.back().size() == columns_.size(),
+                  "report: previous row incomplete");
+    rows_.emplace_back();
+    return *this;
+}
+
+ResultTable &
+ResultTable::cell(Cell value)
+{
+    MPARCH_ASSERT(!rows_.empty(), "report: cell() before row()");
+    MPARCH_ASSERT(rows_.back().size() < columns_.size(),
+                  "report: row has more cells than columns");
+    rows_.back().push_back(std::move(value));
+    return *this;
+}
+
+int
+ResultTable::columnIndex(const std::string &column) const
+{
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        if (columns_[i] == column)
+            return static_cast<int>(i);
+    return -1;
+}
+
+const Cell *
+ResultTable::at(std::size_t row, const std::string &column) const
+{
+    const int col = columnIndex(column);
+    if (col < 0 || row >= rows_.size())
+        return nullptr;
+    const auto &cells = rows_[row];
+    if (static_cast<std::size_t>(col) >= cells.size())
+        return nullptr;
+    return &cells[static_cast<std::size_t>(col)];
+}
+
+ResultTable &
+ResultDoc::addTable(std::string name,
+                    std::vector<std::string> columns)
+{
+    tables.emplace_back(std::move(name), std::move(columns));
+    return tables.back();
+}
+
+const ResultTable *
+ResultDoc::table(const std::string &name) const
+{
+    for (const auto &t : tables)
+        if (t.name() == name)
+            return &t;
+    return nullptr;
+}
+
+bool
+ResultDoc::allPassed() const
+{
+    for (const auto &verdict : verdicts)
+        if (!verdict.pass)
+            return false;
+    return true;
+}
+
+void
+ResultDoc::print(std::ostream &os) const
+{
+    for (const auto &t : tables) {
+        Table text(t.columns());
+        if (t.name() != "main")
+            text.setTitle(t.name());
+        for (const auto &cells : t.rows()) {
+            text.row();
+            for (const auto &c : cells)
+                text.cell(c.formatted());
+        }
+        text.print(os);
+    }
+    for (const auto &note : notes)
+        os << note << "\n";
+    if (!verdicts.empty()) {
+        os << "shape checks:\n";
+        for (const auto &verdict : verdicts) {
+            os << "  [" << (verdict.pass ? "PASS" : "FAIL") << "] "
+               << verdict.id << ": " << verdict.description << " ("
+               << verdict.observed << ")\n";
+        }
+    }
+}
+
+void
+ResultDoc::writeJson(std::ostream &os) const
+{
+    json::Writer w(os);
+    w.beginObject()
+        .member("experiment", experiment)
+        .member("paper_ref", paperRef)
+        .member("kind", kind)
+        .member("title", title)
+        .member("shape_target", shapeTarget)
+        .member("trials", trials)
+        .member("scale", scale)
+        .member("jobs", jobs);
+
+    w.key("tables").beginArray();
+    for (const auto &t : tables) {
+        w.beginObject().member("name", t.name());
+        w.key("columns").beginArray();
+        for (const auto &column : t.columns())
+            w.value(column);
+        w.endArray();
+        w.key("rows").beginArray();
+        for (const auto &cells : t.rows()) {
+            w.beginArray();
+            for (const auto &c : cells) {
+                switch (c.kind) {
+                  case Cell::Kind::Text: w.value(c.text); break;
+                  case Cell::Kind::Real: w.value(c.real); break;
+                  case Cell::Kind::Int:  w.value(c.integer); break;
+                }
+            }
+            w.endArray();
+        }
+        w.endArray().endObject();
+    }
+    w.endArray();
+
+    w.key("notes").beginArray();
+    for (const auto &note : notes)
+        w.value(note);
+    w.endArray();
+
+    w.key("checks").beginArray();
+    for (const auto &verdict : verdicts) {
+        w.beginObject()
+            .member("id", verdict.id)
+            .member("description", verdict.description)
+            .member("observed", verdict.observed)
+            .member("pass", verdict.pass)
+            .endObject();
+    }
+    w.endArray();
+
+    w.member("all_passed", allPassed()).endObject();
+    os << "\n";
+}
+
+void
+ResultDoc::writeCsv(const ResultTable &table, std::ostream &os)
+{
+    Table text(table.columns());
+    for (const auto &cells : table.rows()) {
+        text.row();
+        for (const auto &c : cells)
+            text.cell(c.formatted());
+    }
+    text.printCsv(os);
+}
+
+} // namespace mparch::report
