@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Machine-readable lint report on the common/json writer — same
+ * streaming emitter the experiment ResultDocs use, so CI tooling can
+ * ingest lint findings and scorecards with one parser.
+ */
+
+#include "analysis/lint.hh"
+
+#include <ostream>
+
+#include "common/json.hh"
+
+namespace mparch::analysis {
+
+void
+writeJsonReport(const LintReport &report, std::ostream &os)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.member("tool", "mparch_lint");
+    w.member("filesScanned",
+             static_cast<std::uint64_t>(report.filesScanned));
+    w.member("activeFindings",
+             static_cast<std::uint64_t>(report.active()));
+    w.member("suppressedFindings",
+             static_cast<std::uint64_t>(report.suppressedCount()));
+    w.key("errors").beginArray();
+    for (const std::string &e : report.errors)
+        w.value(e);
+    w.endArray();
+    w.key("findings").beginArray();
+    for (const Finding &f : report.findings) {
+        w.beginObject();
+        w.member("rule", f.rule);
+        w.member("path", f.path);
+        w.member("line", static_cast<std::uint64_t>(f.line));
+        w.member("col", static_cast<std::uint64_t>(f.col));
+        w.member("message", f.message);
+        w.member("hint", f.hint);
+        w.member("suppressed", f.suppressed);
+        if (f.suppressed)
+            w.member("reason", f.suppressReason);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace mparch::analysis

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * banned-api: nondeterminism sources that must never appear.
+ *
+ * Every trial in a campaign must be a pure function of (seed, index):
+ * that is what makes journal resume byte-identical and --jobs
+ * partitioning invariant. std::rand and friends carry hidden global
+ * state; std::random_device and wall clocks inject entropy from the
+ * environment; getenv makes behaviour depend on the invoking shell.
+ * None of these can be caught reliably by tests — a campaign only
+ * diverges when the offending path happens to run — so the linter
+ * bans them at the source level. getenv is tolerated in CLI trees
+ * (examples/, tools/) where flag parsing legitimately reads the
+ * environment; everywhere else configuration must arrive as explicit
+ * parameters.
+ */
+
+#include "analysis/rules.hh"
+
+namespace mparch::analysis {
+
+namespace {
+
+using detail::memberAccess;
+using detail::stdQualified;
+
+struct BannedName
+{
+    const char *name;
+    const char *why;
+    const char *hint;
+    bool callOnly;     ///< only flag when followed by `(`
+    bool envFamily;    ///< exempt in CLI trees (examples/, tools/)
+};
+
+const BannedName kBanned[] = {
+    {"rand", "std::rand draws from hidden global state",
+     "draw from an explicitly seeded mparch::Rng instead", true,
+     false},
+    {"srand", "std::srand mutates hidden global RNG state",
+     "seed an mparch::Rng at the call site instead", true, false},
+    {"rand_r", "rand_r is a weak, platform-dependent generator",
+     "draw from an explicitly seeded mparch::Rng instead", true,
+     false},
+    {"random_device",
+     "std::random_device injects environment entropy — trials must "
+     "be a pure function of (seed, index)",
+     "derive streams with trialRng(seed, index) from common/rng.hh",
+     false, false},
+    {"time", "wall-clock time makes results run-dependent",
+     "use std::chrono::steady_clock for durations; never fold time "
+     "into seeds or trial logic", true, false},
+    {"clock", "processor time is load-dependent",
+     "use std::chrono::steady_clock for durations", true, false},
+    {"gettimeofday", "wall-clock time makes results run-dependent",
+     "use std::chrono::steady_clock for durations", true, false},
+    {"clock_gettime", "wall-clock time makes results run-dependent",
+     "use std::chrono::steady_clock for durations", true, false},
+    {"localtime", "calendar time depends on the run environment",
+     "timestamps belong in post-processing, not in trial paths",
+     true, false},
+    {"gmtime", "calendar time depends on the run environment",
+     "timestamps belong in post-processing, not in trial paths",
+     true, false},
+    {"ctime", "calendar time depends on the run environment",
+     "timestamps belong in post-processing, not in trial paths",
+     true, false},
+    {"mktime", "calendar time depends on the run environment",
+     "timestamps belong in post-processing, not in trial paths",
+     true, false},
+    {"system_clock",
+     "std::chrono::system_clock is wall-clock time",
+     "use std::chrono::steady_clock for durations", false, false},
+    {"high_resolution_clock",
+     "high_resolution_clock may alias the wall clock",
+     "use std::chrono::steady_clock for durations", false, false},
+    {"getenv",
+     "environment reads make library behaviour depend on the "
+     "invoking shell",
+     "read the environment only while parsing CLI flags "
+     "(examples/, tools/); pass configuration explicitly elsewhere",
+     true, true},
+    {"secure_getenv",
+     "environment reads make library behaviour depend on the "
+     "invoking shell",
+     "read the environment only while parsing CLI flags "
+     "(examples/, tools/); pass configuration explicitly elsewhere",
+     true, true},
+    {"setenv", "mutating the environment hides configuration state",
+     "pass configuration explicitly", true, true},
+    {"putenv", "mutating the environment hides configuration state",
+     "pass configuration explicitly", true, true},
+};
+
+/** For call-only names, accept `name(` in plain, `std::`- or
+ *  `::`-qualified spelling; reject member accesses `x.name(`. */
+bool
+matchesCall(const std::vector<Token> &code, std::size_t i)
+{
+    if (i + 1 >= code.size() || !code[i + 1].isPunct("("))
+        return false;
+    if (memberAccess(code, i))
+        return false;
+    return true;
+}
+
+/**
+ * `time(...)` and `clock(...)` are common member names, so the bare
+ * spelling is only flagged with an unambiguous C-library argument
+ * shape: time(nullptr) / time(NULL) / time(0) / clock().
+ */
+bool
+unambiguousTimeCall(const std::vector<Token> &code, std::size_t i)
+{
+    if (stdQualified(code, i))
+        return true;
+    if (i + 2 >= code.size())
+        return false;
+    const Token &arg = code[i + 2];
+    if (code[i].text == "clock")
+        return arg.isPunct(")");
+    return (arg.isIdent("nullptr") || arg.isIdent("NULL") ||
+            arg.is(TokKind::Number, "0")) &&
+           i + 3 < code.size() && code[i + 3].isPunct(")");
+}
+
+class BannedApiRule final : public Rule
+{
+  public:
+    const char *name() const override { return "banned-api"; }
+
+    const char *
+    summary() const override
+    {
+        return "no hidden-state RNGs, wall clocks, or environment "
+               "reads outside CLI parsing";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const
+        override
+    {
+        const bool cliTree =
+            file.pathHas("examples") || file.pathHas("tools");
+        const auto &code = file.code;
+        for (std::size_t i = 0; i < code.size(); ++i) {
+            if (code[i].kind != TokKind::Identifier)
+                continue;
+            for (const BannedName &b : kBanned) {
+                if (code[i].text != b.name)
+                    continue;
+                if (b.envFamily && cliTree)
+                    continue;
+                if (b.callOnly && !matchesCall(code, i))
+                    continue;
+                if ((code[i].text == "time" ||
+                     code[i].text == "clock") &&
+                    !unambiguousTimeCall(code, i))
+                    continue;
+                Finding f;
+                f.rule = name();
+                f.path = file.path;
+                f.line = code[i].line;
+                f.col = code[i].col;
+                f.message = std::string(b.name) + ": " + b.why;
+                f.hint = b.hint;
+                out.push_back(std::move(f));
+                break;
+            }
+        }
+    }
+};
+
+} // namespace
+
+const Rule &
+bannedApiRule()
+{
+    static const BannedApiRule rule;
+    return rule;
+}
+
+} // namespace mparch::analysis

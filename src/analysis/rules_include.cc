@@ -1,0 +1,175 @@
+/**
+ * @file
+ * include-hygiene: stable include structure across the tree.
+ *
+ * Three mechanical conventions that keep the include graph healthy:
+ * every header is guarded (an MPARCH_*-named guard, matching the
+ * tree's style — double inclusion otherwise breaks ODR silently);
+ * quoted includes are root-relative (a "../foo.hh" include couples a
+ * file to its directory placement and breaks when code moves, which
+ * this project does freely); and each .cc includes its own header
+ * first, which proves every public header is self-contained — the
+ * classic way a missing transitive include hides until some
+ * unrelated reordering exposes it.
+ */
+
+#include "analysis/rules.hh"
+
+#include <algorithm>
+
+namespace mparch::analysis {
+
+namespace {
+
+class IncludeHygieneRule final : public Rule
+{
+  public:
+    const char *name() const override { return "include-hygiene"; }
+
+    const char *
+    summary() const override
+    {
+        return "MPARCH_* include guards, root-relative includes, "
+               "self-include-first for .cc files";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const
+        override
+    {
+        checkRelativeIncludes(file, out);
+        if (file.isHeader())
+            checkGuard(file, out);
+        else
+            checkSelfIncludeFirst(file, out);
+    }
+
+  private:
+    void
+    emit(const SourceFile &file, unsigned line, unsigned col,
+         std::string message, std::string hint,
+         std::vector<Finding> &out) const
+    {
+        Finding f;
+        f.rule = name();
+        f.path = file.path;
+        f.line = line;
+        f.col = col;
+        f.message = std::move(message);
+        f.hint = std::move(hint);
+        out.push_back(std::move(f));
+    }
+
+    void
+    checkRelativeIncludes(const SourceFile &file,
+                          std::vector<Finding> &out) const
+    {
+        const auto &code = file.code;
+        for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+            if (code[i].kind != TokKind::Directive ||
+                code[i].text != "include")
+                continue;
+            const Token &target = code[i + 1];
+            const std::string &spelling = target.text;
+            if (spelling.find("..") != std::string::npos)
+                emit(file, target.line, target.col,
+                     "parent-relative include " + spelling +
+                         " couples the file to its directory "
+                         "placement",
+                     "include root-relative, e.g. \"fp/softfloat.hh\"",
+                     out);
+        }
+    }
+
+    void
+    checkGuard(const SourceFile &file,
+               std::vector<Finding> &out) const
+    {
+        const auto &code = file.code;
+        if (code.empty())
+            return;
+        const Token &first = code.front();
+        if (first.kind == TokKind::Directive && first.text == "pragma")
+            return;  // #pragma once accepted, though guards are house
+                     // style
+        const bool guarded =
+            first.kind == TokKind::Directive &&
+            first.text == "ifndef" && code.size() >= 4 &&
+            code[1].kind == TokKind::Identifier &&
+            code[2].kind == TokKind::Directive &&
+            code[2].text == "define" &&
+            code[3].kind == TokKind::Identifier &&
+            code[3].text == code[1].text;
+        if (!guarded) {
+            emit(file, first.line, first.col,
+                 "header without an include guard as its first "
+                 "directive",
+                 "open with #ifndef MPARCH_..._HH / #define (same "
+                 "name) and close with #endif",
+                 out);
+            return;
+        }
+        if (code[1].text.rfind("MPARCH_", 0) != 0)
+            emit(file, code[1].line, code[1].col,
+                 "include guard '" + code[1].text +
+                     "' does not follow the MPARCH_<PATH>_HH "
+                     "convention",
+                 "derive the guard from the root-relative path, e.g. "
+                 "MPARCH_FP_SOFTFLOAT_HH",
+                 out);
+    }
+
+    void
+    checkSelfIncludeFirst(const SourceFile &file,
+                          std::vector<Finding> &out) const
+    {
+        const std::string own = file.stem() + ".hh";
+        const auto quoted = file.quotedIncludes();
+        const bool hasOwn =
+            std::any_of(quoted.begin(), quoted.end(),
+                        [&](const std::string &inc) {
+                            return inc == own ||
+                                   (inc.size() > own.size() &&
+                                    inc.compare(inc.size() -
+                                                    own.size() - 1,
+                                                own.size() + 1,
+                                                "/" + own) == 0);
+                        });
+        if (!hasOwn)
+            return;  // no companion header (mains, tests)
+        const auto &code = file.code;
+        for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+            if (code[i].kind != TokKind::Directive ||
+                code[i].text != "include")
+                continue;
+            const Token &target = code[i + 1];
+            std::string spelling = target.text;
+            if (target.kind == TokKind::String && spelling.size() >= 2)
+                spelling = spelling.substr(1, spelling.size() - 2);
+            const bool isOwn =
+                spelling == own ||
+                (spelling.size() > own.size() &&
+                 spelling.compare(spelling.size() - own.size() - 1,
+                                  own.size() + 1, "/" + own) == 0);
+            if (!isOwn)
+                emit(file, target.line, target.col,
+                     "the companion header " + own +
+                         " must be the first include",
+                     "self-include-first proves the header is "
+                     "self-contained",
+                     out);
+            return;  // only the first include matters
+        }
+    }
+};
+
+} // namespace
+
+const Rule &
+includeHygieneRule()
+{
+    static const IncludeHygieneRule rule;
+    return rule;
+}
+
+} // namespace mparch::analysis

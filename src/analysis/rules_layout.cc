@@ -1,0 +1,89 @@
+/**
+ * @file
+ * registry-shim: bench binaries stay thin shims over the registry.
+ *
+ * PR 4 moved every experiment's tables, paper reference values and
+ * shape checks into the declarative registry (src/report/), leaving
+ * each bench .cpp file a three-line shim over mparch::bench::shimMain.
+ * That convention is what makes the registry↔bench completeness
+ * tests meaningful and keeps paper numbers out of ad-hoc mains. The
+ * rule pins it: every bench .cpp file must call shimMain and stay at or
+ * under the line budget — logic growing back into a shim is the
+ * drift this catches.
+ */
+
+#include "analysis/rules.hh"
+
+#include <algorithm>
+#include <string>
+
+namespace mparch::analysis {
+
+namespace {
+
+/** Doc header + include + a small main comfortably fit; anything
+ *  beyond this is logic creeping back into the shim. */
+constexpr std::size_t kShimMaxLines = 30;
+
+class RegistryShimRule final : public Rule
+{
+  public:
+    const char *name() const override { return "registry-shim"; }
+
+    const char *
+    summary() const override
+    {
+        return "every bench .cpp file is a <=30-line shimMain shim over "
+               "the experiment registry";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const
+        override
+    {
+        if (!file.isBenchShim())
+            return;
+        const bool callsShim = std::any_of(
+            file.code.begin(), file.code.end(),
+            [](const Token &t) { return t.isIdent("shimMain"); });
+        if (!callsShim) {
+            Finding f;
+            f.rule = name();
+            f.path = file.path;
+            f.line = 1;
+            f.col = 1;
+            f.message =
+                "bench binary does not route through "
+                "mparch::bench::shimMain";
+            f.hint = "register the experiment in src/report/ and "
+                     "reduce this file to a shimMain call (see any "
+                     "fig*.cpp)";
+            out.push_back(std::move(f));
+        }
+        if (file.lineCount > kShimMaxLines) {
+            Finding f;
+            f.rule = name();
+            f.path = file.path;
+            f.line = static_cast<unsigned>(kShimMaxLines + 1);
+            f.col = 1;
+            f.message =
+                "bench shim has grown to " +
+                std::to_string(file.lineCount) + " lines (budget " +
+                std::to_string(kShimMaxLines) + ")";
+            f.hint = "move tables, reference values and checks into "
+                     "the experiment registry entry";
+            out.push_back(std::move(f));
+        }
+    }
+};
+
+} // namespace
+
+const Rule &
+registryShimRule()
+{
+    static const RegistryShimRule rule;
+    return rule;
+}
+
+} // namespace mparch::analysis

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ordered-serialization: no unordered containers near serialized
+ * output.
+ *
+ * Journals must be byte-identical on resume, ResultDocs must render
+ * the same JSON/CSV on every run, and scorecard diffs must be
+ * meaningful. std::unordered_{map,set} iteration order depends on
+ * the standard library, the hash seed and the insertion history, so
+ * a single range-for over one of them feeding a Writer silently
+ * breaks all three guarantees — and only on *some* platforms. The
+ * rule is deliberately blunt: in any file that can write serialized
+ * artefacts (includes common/json.hh, fault/journal.hh,
+ * report/document.hh or core/study.hh, or lives in src/report/ or
+ * src/fault/), unordered containers are banned outright rather than
+ * traced to a particular loop; std::map's ordering costs nothing at
+ * these sizes and removes the hazard class.
+ */
+
+#include "analysis/rules.hh"
+
+namespace mparch::analysis {
+
+namespace {
+
+const char *const kUnordered[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset", "flat_hash_map", "flat_hash_set",
+};
+
+class OrderedSerializationRule final : public Rule
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "ordered-serialization";
+    }
+
+    const char *
+    summary() const override
+    {
+        return "no unordered containers in files that write "
+               "journals, ResultDocs or JSON";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const
+        override
+    {
+        if (!serializes(file))
+            return;
+        for (const Token &t : file.code) {
+            if (t.kind != TokKind::Identifier &&
+                t.kind != TokKind::HeaderName)
+                continue;
+            for (const char *banned : kUnordered) {
+                if (t.text != banned)
+                    continue;
+                Finding f;
+                f.rule = name();
+                f.path = file.path;
+                f.line = t.line;
+                f.col = t.col;
+                f.message =
+                    t.text + " in a serializing file: iteration "
+                    "order is nondeterministic and can leak into "
+                    "journals/JSON";
+                f.hint = "use std::map / std::set, or collect into a "
+                         "vector and sort before writing";
+                out.push_back(std::move(f));
+                break;
+            }
+        }
+    }
+
+  private:
+    static bool
+    serializes(const SourceFile &file)
+    {
+        return file.includes("common/json.hh") ||
+               file.includes("fault/journal.hh") ||
+               file.includes("report/document.hh") ||
+               file.includes("core/study.hh") ||
+               file.pathHas("src/report") || file.pathHas("src/fault");
+    }
+};
+
+} // namespace
+
+const Rule &
+orderedSerializationRule()
+{
+    static const OrderedSerializationRule rule;
+    return rule;
+}
+
+} // namespace mparch::analysis

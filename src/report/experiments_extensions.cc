@@ -6,7 +6,6 @@
  */
 
 #include <cmath>
-#include <cstdio>
 
 #include "common/histogram.hh"
 #include "fault/campaign.hh"
@@ -20,14 +19,6 @@ namespace mparch::report {
 namespace {
 
 using fp::Precision;
-
-std::string
-num(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.4g", v);
-    return buf;
-}
 
 /** remaining[] entry of a study row at a TRE threshold. */
 double

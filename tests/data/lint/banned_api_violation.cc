@@ -1,0 +1,24 @@
+// Fixture: every kind of banned-api violation. Scanned by
+// lint_test and by the lint_fixture_detects ctest entry (which
+// expects a non-zero exit). Never part of a parent-tree sweep:
+// the walker skips data/ directories.
+
+#include <cstdlib>
+#include <ctime>
+#include <chrono>
+
+namespace fixture {
+
+int
+entropySoup()
+{
+    std::srand(42);                              // banned: srand
+    int a = std::rand();                         // banned: rand
+    const std::time_t now = std::time(nullptr);  // banned: time
+    const char *home = std::getenv("HOME");      // banned: getenv
+    auto wall = std::chrono::system_clock::now();  // banned clock
+    (void)wall;
+    return a + static_cast<int>(now) + (home ? 1 : 0);
+}
+
+} // namespace fixture

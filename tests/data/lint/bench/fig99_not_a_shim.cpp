@@ -1,0 +1,40 @@
+// Fixture: a bench binary that has grown logic back instead of
+// staying a registry shim — no shimMain call and over the line
+// budget.
+
+#include <cstdio>
+#include <vector>
+
+namespace {
+
+double
+model(double x)
+{
+    // Twenty-odd lines of ad-hoc experiment logic that belong in the
+    // experiment registry (src/report/), not in a bench main.
+    double acc = 0.0;
+    for (int i = 0; i < 100; ++i)
+        acc += x / (1.0 + i);
+    return acc;
+}
+
+std::vector<double>
+sweep()
+{
+    std::vector<double> out;
+    for (int i = 0; i < 8; ++i)
+        out.push_back(model(static_cast<double>(i)));
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    double total = 0.0;
+    for (double v : sweep())
+        total += v;
+    std::printf("total %f\n", total);
+    return total > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+// Fixture: header with no include guard and a parent-relative
+// include.
+
+#include "../common/rng.hh"
+
+namespace fixture {
+
+inline int
+answer()
+{
+    return 42;
+}
+
+} // namespace fixture

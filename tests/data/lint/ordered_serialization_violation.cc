@@ -1,0 +1,22 @@
+// Fixture: unordered container in a file that writes JSON — the
+// iteration order would leak into the serialized artefact.
+
+#include <string>
+#include <unordered_map>
+
+#include "common/json.hh"
+
+namespace fixture {
+
+void
+dumpTallies(const std::unordered_map<std::string, int> &tallies,
+            std::ostream &os)
+{
+    mparch::json::Writer w(os);
+    w.beginObject();
+    for (const auto &[key, count] : tallies)  // nondeterministic order
+        w.member(key, count);
+    w.endObject();
+}
+
+} // namespace fixture

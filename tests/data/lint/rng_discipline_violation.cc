@@ -1,0 +1,19 @@
+// Fixture: rng-discipline violations — std <random> machinery and a
+// default-constructed Rng at function scope.
+
+#include <random>
+
+#include "common/rng.hh"
+
+namespace fixture {
+
+double
+adHocDraws()
+{
+    std::mt19937 gen(1234);                      // std engine
+    std::uniform_real_distribution<double> d;    // std distribution
+    mparch::Rng bare;                            // default-constructed
+    return d(gen) + bare.uniform();
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: trial machinery seeding an Rng ad hoc instead of deriving
+// the per-trial stream from trialRng(seed, index). Lives under a
+// fake src/fault/ path so the tree-scoped check applies.
+
+#include "common/rng.hh"
+
+namespace fixture {
+
+double
+runTrial(unsigned long long seed, unsigned long long index)
+{
+    mparch::Rng rng(seed + index);  // ad hoc: order-dependent streams
+    return rng.uniform();
+}
+
+} // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: softfloat-style code that rounds and touches datapath
+// stages without threading the OpCtx. Lives under a fake src/fp/
+// path so the tree-scoped checks apply.
+
+#include "fp/softfloat.hh"
+
+namespace mparch::fp {
+
+std::uint64_t
+unhookedRound(Format f, RawFloat raw)
+{
+    // roundPack without an OpCtx argument: rounding-stage faults
+    // would be invisible to injection hooks.
+    return roundPack(f, raw);
+}
+
+std::uint64_t
+unhookedTouch(Format f, std::uint64_t a)
+{
+    // touch without enterOp or an OpCtx parameter.
+    a = detail::touch({}, OpKind::Add, Stage::OperandA, f.totalBits,
+                      a);
+    return a;
+}
+
+} // namespace mparch::fp

@@ -1,0 +1,19 @@
+// Fixture: violations waived by well-formed suppressions — scanning
+// this file alone must exit 0. Exercises both placements: same line
+// and alone-on-the-line-above.
+
+#include <cstdlib>
+
+namespace fixture {
+
+inline int
+justified()
+{
+    // mparch-lint: allow(banned-api): fixture demonstrates same-line waiver
+    int a = std::rand(); // mparch-lint: allow(banned-api): exercising the same-line form
+    // mparch-lint: allow(banned-api): exercising the line-above form
+    int b = std::rand();
+    return a + b;
+}
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: malformed suppression comments — an allow() without a
+// reason and an allow() naming an unknown rule. Both are findings of
+// the lint-suppression pseudo-rule (which cannot itself be waived).
+
+namespace fixture {
+
+// mparch-lint: allow(banned-api)
+inline int noReason() { return 1; }
+
+// mparch-lint: allow(no-such-rule): the rule name is wrong
+inline int unknownRule() { return 2; }
+
+} // namespace fixture

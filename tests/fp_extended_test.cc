@@ -95,12 +95,15 @@ TEST_P(RoundingModes, DoubleAddMulDivMatchHostFpu)
         const std::uint64_t add_got = fpAdd(kDouble, a, b);
         const std::uint64_t mul_got = fpMul(kDouble, a, b);
         const std::uint64_t div_got = fpDiv(kDouble, a, b);
-        if (!(isNaN(kDouble, add_want) && isNaN(kDouble, add_got)))
+        if (!(isNaN(kDouble, add_want) && isNaN(kDouble, add_got))) {
             EXPECT_EQ(add_want, add_got) << "add " << a << " " << b;
-        if (!(isNaN(kDouble, mul_want) && isNaN(kDouble, mul_got)))
+        }
+        if (!(isNaN(kDouble, mul_want) && isNaN(kDouble, mul_got))) {
             EXPECT_EQ(mul_want, mul_got) << "mul " << a << " " << b;
-        if (!(isNaN(kDouble, div_want) && isNaN(kDouble, div_got)))
+        }
+        if (!(isNaN(kDouble, div_want) && isNaN(kDouble, div_got))) {
             EXPECT_EQ(div_want, div_got) << "div " << a << " " << b;
+        }
     }
 }
 
@@ -210,8 +213,9 @@ TEST(IntConvert, RoundTripExactForRepresentable)
     for (int i = 0; i < 50000; ++i) {
         const std::int64_t v = rng.between(-(1 << 24), 1 << 24);
         EXPECT_EQ(fpToInt(kDouble, fpFromInt(kDouble, v)), v);
-        if (std::abs(v) <= 2048)
+        if (std::abs(v) <= 2048) {
             EXPECT_EQ(fpToInt(kHalf, fpFromInt(kHalf, v)), v);
+        }
     }
 }
 
@@ -244,13 +248,15 @@ TEST_P(FormatProperties, IdentityElements)
             continue;
         // a * 1 == a, a + 0 == a (except -0 + +0).
         EXPECT_EQ(fpMul(f, a, one(f)), a);
-        if (!isZero(f, a))
+        if (!isZero(f, a)) {
             EXPECT_EQ(fpAdd(f, a, zero(f, false)), a);
+        }
         // a / 1 == a.
         EXPECT_EQ(fpDiv(f, a, one(f)), a);
         // a - a == +0 for finite a.
-        if (isFinite(f, a))
+        if (isFinite(f, a)) {
             EXPECT_EQ(fpSub(f, a, a), zero(f, false));
+        }
     }
 }
 
@@ -266,8 +272,9 @@ TEST_P(FormatProperties, SignSymmetry)
         // (-a) * b == -(a * b)
         const std::uint64_t lhs = fpMul(f, fpNeg(f, a), b);
         const std::uint64_t rhs = fpNeg(f, fpMul(f, a, b));
-        if (!(isNaN(f, lhs) && isNaN(f, rhs)))
+        if (!(isNaN(f, lhs) && isNaN(f, rhs))) {
             EXPECT_EQ(lhs, rhs);
+        }
     }
 }
 
@@ -291,8 +298,9 @@ TEST_P(FormatProperties, FmaDegeneratesToMulAndAdd)
         const std::uint64_t c = randomBits(rng, f);
         const std::uint64_t fma1 = fpFma(f, a, one(f), c);
         const std::uint64_t add1 = fpAdd(f, a, c);
-        if (!(isNaN(f, fma1) && isNaN(f, add1)))
+        if (!(isNaN(f, fma1) && isNaN(f, add1))) {
             EXPECT_EQ(fma1, add1);
+        }
     }
 }
 

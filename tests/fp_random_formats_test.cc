@@ -141,8 +141,9 @@ TEST(RandomFormats, AlgebraicPropertiesForWideFormats)
             ASSERT_EQ(fpAdd(f, a, b), fpAdd(f, b, a));
             ASSERT_EQ(fpMul(f, a, b), fpMul(f, b, a));
             ASSERT_EQ(fpMul(f, a, one(f)), a);
-            if (isFinite(f, a))
+            if (isFinite(f, a)) {
                 ASSERT_EQ(fpSub(f, a, a), zero(f, false));
+            }
         }
     }
 }

@@ -1,0 +1,603 @@
+/**
+ * @file
+ * Tests for the project linter: lexer behaviour, per-rule positive
+ * and negative fixtures (inline strings and the on-disk corpus under
+ * tests/data/lint/), suppression-comment parsing, JSON report
+ * round-trip through common/json, and the meta-test that keeps the
+ * real source tree lint-clean.
+ *
+ * Violating code lives in raw string literals throughout — the
+ * lexer treats string contents as opaque, which is itself part of
+ * what these tests pin down (this file is swept by lint_all).
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hh"
+#include "common/json.hh"
+
+namespace {
+
+using namespace mparch::analysis;
+
+/** Run one rule (or all when @p rule is empty) over a buffer. */
+LintReport
+lintBuffer(const std::string &path, const std::string &code,
+           const std::string &rule = "")
+{
+    LintOptions options;
+    if (!rule.empty())
+        options.onlyRules.push_back(rule);
+    LintReport report;
+    lintFile(sourceFromString(path, code), options, report);
+    return report;
+}
+
+std::vector<std::string>
+ruleNames(const LintReport &report, bool suppressedToo = false)
+{
+    std::vector<std::string> names;
+    for (const Finding &f : report.findings)
+        if (suppressedToo || !f.suppressed)
+            names.push_back(f.rule);
+    return names;
+}
+
+// ---------------------------------------------------------------
+// Lexer
+
+TEST(Lexer, CommentsAndStringsAreOpaque)
+{
+    const auto tokens = lex(
+        "int a; // std::rand() in a comment\n"
+        "const char *s = \"std::rand()\";\n"
+        "/* rand */ int b;\n");
+    for (const Token &t : tokens) {
+        if (t.kind == TokKind::Identifier) {
+            EXPECT_NE(t.text, "rand") << "line " << t.line;
+        }
+    }
+}
+
+TEST(Lexer, RawStringsSwallowEverything)
+{
+    const auto tokens = lex(
+        "const char *s = R\"(std::rand() \" unbalanced { )\";\n"
+        "int after;\n");
+    bool sawAfter = false;
+    for (const Token &t : tokens) {
+        EXPECT_NE(t.text, "rand");
+        if (t.isIdent("after"))
+            sawAfter = true;
+    }
+    EXPECT_TRUE(sawAfter);
+}
+
+TEST(Lexer, DirectivesAndHeaderNames)
+{
+    const auto tokens = lex("#include <vector>\n"
+                            "#include \"fp/softfloat.hh\"\n"
+                            "#ifndef GUARD\n");
+    ASSERT_GE(tokens.size(), 5u);
+    EXPECT_EQ(tokens[0].kind, TokKind::Directive);
+    EXPECT_EQ(tokens[0].text, "include");
+    EXPECT_EQ(tokens[1].kind, TokKind::HeaderName);
+    EXPECT_EQ(tokens[1].text, "vector");
+    EXPECT_EQ(tokens[3].kind, TokKind::String);
+    EXPECT_EQ(tokens[3].text, "\"fp/softfloat.hh\"");
+    EXPECT_EQ(tokens[4].kind, TokKind::Directive);
+    EXPECT_EQ(tokens[4].text, "ifndef");
+}
+
+TEST(Lexer, LineAndColumnPositions)
+{
+    const auto tokens = lex("a\n  bc\n");
+    ASSERT_EQ(tokens.size(), 2u);
+    EXPECT_EQ(tokens[0].line, 1u);
+    EXPECT_EQ(tokens[0].col, 1u);
+    EXPECT_EQ(tokens[1].line, 2u);
+    EXPECT_EQ(tokens[1].col, 3u);
+}
+
+// ---------------------------------------------------------------
+// banned-api
+
+TEST(BannedApi, FlagsHiddenStateAndWallClock)
+{
+    const auto report = lintBuffer("src/metrics/x.cc", R"cpp(
+        #include <cstdlib>
+        int f() { return std::rand(); }
+        long g() { return time(nullptr); }
+        const char *h() { return std::getenv("X"); }
+        void w() { auto t = std::chrono::system_clock::now(); }
+    )cpp", "banned-api");
+    EXPECT_EQ(report.active(), 4u);
+}
+
+TEST(BannedApi, MemberNamedTimeIsNotFlagged)
+{
+    const auto report = lintBuffer("src/metrics/x.cc", R"cpp(
+        double f(const Exposure &e) { return e.time(); }
+        double g(Run *r) { return r->clock(); }
+        int h(int time) { return time + 1; }
+    )cpp", "banned-api");
+    EXPECT_EQ(report.active(), 0u);
+}
+
+TEST(BannedApi, GetenvAllowedInCliTrees)
+{
+    const std::string code = R"cpp(
+        #include <cstdlib>
+        const char *f() { return std::getenv("MPARCH_X"); }
+    )cpp";
+    EXPECT_EQ(lintBuffer("examples/cli.cpp", code, "banned-api")
+                  .active(),
+              0u);
+    EXPECT_EQ(lintBuffer("tools/helper.cc", code, "banned-api")
+                  .active(),
+              0u);
+    EXPECT_EQ(lintBuffer("src/core/x.cc", code, "banned-api")
+                  .active(),
+              1u);
+}
+
+TEST(BannedApi, SteadyClockIsFine)
+{
+    const auto report = lintBuffer("src/report/t.cc", R"cpp(
+        #include <chrono>
+        auto f() { return std::chrono::steady_clock::now(); }
+    )cpp", "banned-api");
+    EXPECT_EQ(report.active(), 0u);
+}
+
+// ---------------------------------------------------------------
+// rng-discipline
+
+TEST(RngDiscipline, FlagsStdRandomMachinery)
+{
+    const auto report = lintBuffer("src/nn/x.cc", R"cpp(
+        #include <random>
+        double f() {
+            std::mt19937 gen(7);
+            std::normal_distribution<double> d(0.0, 1.0);
+            return d(gen);
+        }
+    )cpp", "rng-discipline");
+    EXPECT_EQ(report.active(), 2u);
+}
+
+TEST(RngDiscipline, FlagsDefaultConstructedRng)
+{
+    const auto report = lintBuffer("src/nn/x.cc", R"cpp(
+        #include "common/rng.hh"
+        double f() { mparch::Rng rng; return rng.uniform(); }
+    )cpp", "rng-discipline");
+    EXPECT_EQ(report.active(), 1u);
+}
+
+TEST(RngDiscipline, SeededRngAndMembersAreFine)
+{
+    const auto report = lintBuffer("src/nn/x.cc", R"cpp(
+        #include "common/rng.hh"
+        class Net {
+            mparch::Rng rng_;   // member: initialized in the ctor
+        };
+        double f(std::uint64_t seed) {
+            mparch::Rng rng(seed);
+            return rng.uniform();
+        }
+    )cpp", "rng-discipline");
+    EXPECT_EQ(report.active(), 0u);
+}
+
+TEST(RngDiscipline, TrialTreeRequiresCounterStreams)
+{
+    const std::string adHoc = R"cpp(
+        #include "common/rng.hh"
+        double t(std::uint64_t seed, std::uint64_t i) {
+            mparch::Rng rng(seed + i);
+            return rng.uniform();
+        }
+    )cpp";
+    const std::string derived = R"cpp(
+        #include "common/rng.hh"
+        double t(std::uint64_t seed, std::uint64_t i) {
+            mparch::Rng rng = mparch::trialRng(seed, i);
+            return rng.uniform();
+        }
+    )cpp";
+    EXPECT_EQ(lintBuffer("src/fault/t.cc", adHoc, "rng-discipline")
+                  .active(),
+              1u);
+    EXPECT_EQ(lintBuffer("src/fault/t.cc", derived, "rng-discipline")
+                  .active(),
+              0u);
+    // Outside the trial machinery the same code is fine.
+    EXPECT_EQ(lintBuffer("src/nn/t.cc", adHoc, "rng-discipline")
+                  .active(),
+              0u);
+}
+
+// ---------------------------------------------------------------
+// ordered-serialization
+
+TEST(OrderedSerialization, FlagsUnorderedInSerializingFiles)
+{
+    const std::string code = R"cpp(
+        #include <unordered_map>
+        #include "common/json.hh"
+        void f();
+    )cpp";
+    const auto report =
+        lintBuffer("src/metrics/m.cc", code, "ordered-serialization");
+    EXPECT_GE(report.active(), 1u);
+}
+
+TEST(OrderedSerialization, UnorderedFineAwayFromSerializers)
+{
+    const auto report = lintBuffer("src/nn/cache.cc", R"cpp(
+        #include <unordered_map>
+        std::unordered_map<int, int> cache;
+    )cpp", "ordered-serialization");
+    EXPECT_EQ(report.active(), 0u);
+}
+
+TEST(OrderedSerialization, ReportAndFaultTreesAlwaysCount)
+{
+    const auto report = lintBuffer("src/report/r.cc", R"cpp(
+        #include <unordered_set>
+        std::unordered_set<int> seen;
+    )cpp", "ordered-serialization");
+    // Both the include and the use are flagged.
+    EXPECT_EQ(report.active(), 2u);
+}
+
+// ---------------------------------------------------------------
+// hook-coverage
+
+TEST(HookCoverage, FlagsUnthreadedRoundPackAndTouch)
+{
+    const auto report = lintBuffer("src/fp/bad.cc", R"cpp(
+        #include "fp/softfloat.hh"
+        namespace mparch::fp {
+        std::uint64_t f(Format f, RawFloat raw) {
+            return roundPack(f, raw);
+        }
+        std::uint64_t g(Format f, std::uint64_t a) {
+            return detail::touch({}, OpKind::Add, Stage::OperandA,
+                                 f.totalBits, a);
+        }
+        }
+    )cpp", "hook-coverage");
+    EXPECT_EQ(report.active(), 2u);
+}
+
+TEST(HookCoverage, ThreadedPathsPass)
+{
+    const auto report = lintBuffer("src/fp/good.cc", R"cpp(
+        #include "fp/softfloat.hh"
+        namespace mparch::fp {
+        std::uint64_t entry(Format f, std::uint64_t a) {
+            const OpCtx ctx = detail::enterOp(OpKind::Add);
+            a = detail::touch(ctx, OpKind::Add, Stage::OperandA,
+                              f.totalBits, a);
+            return roundPack(f, {false, 0, a}, ctx, OpKind::Add);
+        }
+        std::uint64_t helper(Format f, RawFloat raw,
+                             const OpCtx &ctx) {
+            raw.sig = detail::touch(ctx, OpKind::Add,
+                                    Stage::PreRoundSig, 64, raw.sig);
+            return roundPack(f, raw, ctx, OpKind::Add);
+        }
+        }
+    )cpp", "hook-coverage");
+    EXPECT_EQ(report.active(), 0u);
+}
+
+TEST(HookCoverage, ControlFlowBracesAreNotFunctions)
+{
+    // An if-block between the OpCtx parameter and the touch call
+    // must not sever the function's dispatch context.
+    const auto report = lintBuffer("src/fp/branchy.cc", R"cpp(
+        namespace mparch::fp {
+        std::uint64_t f(std::uint64_t a, const OpCtx &ctx,
+                        bool instrumented) {
+            if (instrumented) {
+                a = detail::touch(ctx, OpKind::Add, Stage::OperandA,
+                                  16, a);
+            }
+            return a;
+        }
+        }
+    )cpp", "hook-coverage");
+    EXPECT_EQ(report.active(), 0u);
+}
+
+TEST(HookCoverage, OnlyAppliesToFpSources)
+{
+    const auto report = lintBuffer("src/verify/v.cc", R"cpp(
+        int f() { return roundPack(1, 2); }
+    )cpp", "hook-coverage");
+    EXPECT_EQ(report.active(), 0u);
+}
+
+// ---------------------------------------------------------------
+// include-hygiene
+
+TEST(IncludeHygiene, FlagsGuardlessHeader)
+{
+    const auto report = lintBuffer("src/nn/thing.hh", R"cpp(
+        #include <vector>
+        inline int f() { return 1; }
+    )cpp", "include-hygiene");
+    ASSERT_EQ(report.active(), 1u);
+    EXPECT_NE(report.findings[0].message.find("include guard"),
+              std::string::npos);
+}
+
+TEST(IncludeHygiene, AcceptsProjectGuard)
+{
+    const auto report = lintBuffer("src/nn/thing.hh", R"cpp(
+#ifndef MPARCH_NN_THING_HH
+#define MPARCH_NN_THING_HH
+inline int f() { return 1; }
+#endif
+    )cpp", "include-hygiene");
+    EXPECT_EQ(report.active(), 0u);
+}
+
+TEST(IncludeHygiene, FlagsForeignGuardPrefix)
+{
+    const auto report = lintBuffer("src/nn/thing.hh", R"cpp(
+#ifndef SOME_OTHER_GUARD_H
+#define SOME_OTHER_GUARD_H
+#endif
+    )cpp", "include-hygiene");
+    EXPECT_EQ(report.active(), 1u);
+}
+
+TEST(IncludeHygiene, FlagsParentRelativeInclude)
+{
+    const auto report = lintBuffer("src/nn/x.cc", R"cpp(
+        #include "../common/rng.hh"
+    )cpp", "include-hygiene");
+    EXPECT_EQ(report.active(), 1u);
+}
+
+TEST(IncludeHygiene, SelfIncludeMustComeFirst)
+{
+    const std::string wrongOrder = R"cpp(
+        #include <vector>
+        #include "nn/digits.hh"
+    )cpp";
+    const std::string rightOrder = R"cpp(
+        #include "nn/digits.hh"
+        #include <vector>
+    )cpp";
+    EXPECT_EQ(lintBuffer("src/nn/digits.cc", wrongOrder,
+                         "include-hygiene")
+                  .active(),
+              1u);
+    EXPECT_EQ(lintBuffer("src/nn/digits.cc", rightOrder,
+                         "include-hygiene")
+                  .active(),
+              0u);
+    // A main with no companion header is unconstrained.
+    EXPECT_EQ(lintBuffer("examples/quickstart.cpp", wrongOrder,
+                         "include-hygiene")
+                  .active(),
+              0u);
+}
+
+// ---------------------------------------------------------------
+// registry-shim
+
+TEST(RegistryShim, AcceptsTheShimShape)
+{
+    const auto report = lintBuffer("bench/fig3_fpga_fit.cpp", R"cpp(
+        #include "bench_util.hh"
+        int main(int argc, char **argv) {
+            return mparch::bench::shimMain(argc, argv,
+                                           "fig3_fpga_fit");
+        }
+    )cpp", "registry-shim");
+    EXPECT_EQ(report.active(), 0u);
+}
+
+TEST(RegistryShim, FlagsNonShimBenchBinaries)
+{
+    std::string big = "#include <cstdio>\n";
+    for (int i = 0; i < 40; ++i)
+        big += "// padding line to exceed the shim budget\n";
+    big += "int main() { return 0; }\n";
+    const auto report =
+        lintBuffer("bench/fig99_custom.cpp", big, "registry-shim");
+    EXPECT_EQ(report.active(), 2u);  // no shimMain + over budget
+}
+
+TEST(RegistryShim, IgnoresOtherTrees)
+{
+    const auto report = lintBuffer("examples/quickstart.cpp",
+                                   "int main() { return 0; }\n",
+                                   "registry-shim");
+    EXPECT_EQ(report.active(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Suppressions
+
+TEST(Suppression, SameLineWaives)
+{
+    const auto report = lintBuffer("src/x.cc",
+        "#include <cstdlib>\n"
+        "int f() { return std::rand(); } "
+        "// mparch-lint: allow(banned-api): fixture needs rand\n",
+        "banned-api");
+    EXPECT_EQ(report.active(), 0u);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_TRUE(report.findings[0].suppressed);
+    EXPECT_EQ(report.findings[0].suppressReason,
+              "fixture needs rand");
+}
+
+TEST(Suppression, LineAboveWaivesWhenAlone)
+{
+    const auto report = lintBuffer("src/x.cc",
+        "#include <cstdlib>\n"
+        "// mparch-lint: allow(banned-api): exercising line-above\n"
+        "int f() { return std::rand(); }\n",
+        "banned-api");
+    EXPECT_EQ(report.active(), 0u);
+    EXPECT_EQ(report.suppressedCount(), 1u);
+}
+
+TEST(Suppression, WrongRuleDoesNotWaive)
+{
+    const auto report = lintBuffer("src/x.cc",
+        "#include <cstdlib>\n"
+        "int f() { return std::rand(); } "
+        "// mparch-lint: allow(include-hygiene): wrong rule\n",
+        "banned-api");
+    EXPECT_EQ(report.active(), 1u);
+}
+
+TEST(Suppression, MissingReasonIsItselfAFinding)
+{
+    const auto report = lintBuffer(
+        "src/x.cc", "// mparch-lint: allow(banned-api)\n");
+    ASSERT_EQ(report.active(), 1u);
+    EXPECT_EQ(report.findings[0].rule, suppressionRuleName());
+}
+
+TEST(Suppression, UnknownRuleIsItselfAFinding)
+{
+    const auto report = lintBuffer(
+        "src/x.cc",
+        "// mparch-lint: allow(made-up-rule): because\n");
+    ASSERT_EQ(report.active(), 1u);
+    EXPECT_EQ(report.findings[0].rule, suppressionRuleName());
+}
+
+TEST(Suppression, ProseMentionsAreIgnored)
+{
+    const auto report = lintBuffer(
+        "src/x.cc",
+        "// Docs: waive a finding by writing a comment of the form\n"
+        "// described in docs — mparch-lint: allow(rule): reason —\n"
+        "// anchored at the start of its own comment.\n");
+    EXPECT_EQ(report.active(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Registry and report plumbing
+
+TEST(Registry, CatalogueIsStable)
+{
+    std::vector<std::string> names;
+    for (const Rule *r : allRules())
+        names.push_back(r->name());
+    const std::vector<std::string> expected = {
+        "banned-api",          "rng-discipline",
+        "ordered-serialization", "hook-coverage",
+        "include-hygiene",     "registry-shim",
+    };
+    EXPECT_EQ(names, expected);
+    for (const Rule *r : allRules()) {
+        EXPECT_EQ(findRule(r->name()), r);
+        EXPECT_STRNE(r->summary(), "");
+    }
+    EXPECT_EQ(findRule("no-such-rule"), nullptr);
+}
+
+TEST(Report, JsonRoundTripsThroughCommonJson)
+{
+    LintReport report = lintBuffer("src/x.cc",
+        "#include <cstdlib>\n"
+        "int f() { return std::rand(); }\n"
+        "int g() { return std::rand(); } "
+        "// mparch-lint: allow(banned-api): json fixture\n");
+    std::ostringstream os;
+    writeJsonReport(report, os);
+
+    mparch::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(mparch::json::parse(os.str(), doc, &error)) << error;
+    EXPECT_EQ(doc.find("tool")->string, "mparch_lint");
+    EXPECT_EQ(doc.find("filesScanned")->number, 1.0);
+    EXPECT_EQ(doc.find("activeFindings")->number, 1.0);
+    EXPECT_EQ(doc.find("suppressedFindings")->number, 1.0);
+    const auto &findings = doc.find("findings")->array;
+    ASSERT_EQ(findings.size(), report.findings.size());
+    const mparch::json::Value &first = findings.at(0);
+    EXPECT_EQ(first.find("rule")->string, "banned-api");
+    EXPECT_EQ(first.find("path")->string, "src/x.cc");
+    EXPECT_EQ(first.find("line")->number, 2.0);
+    EXPECT_FALSE(first.find("suppressed")->boolean);
+    const mparch::json::Value &second = findings.at(1);
+    EXPECT_TRUE(second.find("suppressed")->boolean);
+    EXPECT_EQ(second.find("reason")->string, "json fixture");
+}
+
+// ---------------------------------------------------------------
+// On-disk fixture corpus
+
+TEST(Fixtures, EveryRuleFiresOnTheCorpus)
+{
+    const std::string corpus =
+        std::string(MPARCH_SOURCE_DIR) + "/tests/data/lint";
+    const LintReport report = lintPaths({corpus}, LintOptions{});
+    EXPECT_TRUE(report.errors.empty());
+    EXPECT_GT(report.active(), 0u);
+    const auto names = ruleNames(report);
+    for (const Rule *rule : allRules()) {
+        EXPECT_NE(std::count(names.begin(), names.end(),
+                             rule->name()),
+                  0)
+            << "rule " << rule->name()
+            << " has no on-disk violation fixture";
+    }
+    EXPECT_NE(std::count(names.begin(), names.end(),
+                         suppressionRuleName()),
+              0);
+}
+
+TEST(Fixtures, SuppressedFixtureScansClean)
+{
+    const std::string path = std::string(MPARCH_SOURCE_DIR) +
+                             "/tests/data/lint/suppressed_clean.cc";
+    const LintReport report = lintPaths({path}, LintOptions{});
+    EXPECT_EQ(report.active(), 0u);
+    EXPECT_GE(report.suppressedCount(), 2u);
+}
+
+// ---------------------------------------------------------------
+// The real tree
+
+TEST(RealTree, SweepIsLintClean)
+{
+    const std::string root = MPARCH_SOURCE_DIR;
+    const LintReport report =
+        lintPaths({root + "/src", root + "/bench",
+                   root + "/examples", root + "/tests"},
+                  LintOptions{});
+    EXPECT_TRUE(report.errors.empty());
+    for (const Finding &f : report.findings) {
+        EXPECT_TRUE(f.suppressed)
+            << f.path << ":" << f.line << ": [" << f.rule << "] "
+            << f.message;
+    }
+    // The suppression budget is part of the contract: at most three
+    // justified waivers in the whole tree.
+    EXPECT_LE(report.suppressedCount(), 3u);
+    // Sanity: the sweep actually saw the tree, and fixture files
+    // under tests/data/ stayed out of it.
+    EXPECT_GT(report.filesScanned, 150u);
+    for (const Finding &f : report.findings)
+        EXPECT_EQ(f.path.find("/tests/data/"), std::string::npos);
+}
+
+} // namespace

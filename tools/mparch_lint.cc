@@ -1,0 +1,127 @@
+/**
+ * @file
+ * mparch_lint — project-rule determinism & injectability linter.
+ *
+ * Usage:
+ *   mparch_lint [options] <file-or-dir>...
+ *
+ * Options:
+ *   --list-rules       print the rule catalogue and exit
+ *   --rule <name>      run only this rule (repeatable)
+ *   --json <path>      also write the machine-readable report
+ *   --show-suppressed  print suppressed findings too
+ *   -h, --help         usage
+ *
+ * Exit status: 0 clean, 1 unsuppressed findings, 2 usage or I/O
+ * error. Wired into tier-1 as the `lint_all` ctest entry.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hh"
+
+namespace {
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: mparch_lint [--list-rules] [--rule <name>]...\n"
+          "                   [--json <path>] [--show-suppressed]\n"
+          "                   <file-or-dir>...\n"
+          "\n"
+          "Lints C++ sources against the project's determinism and\n"
+          "injectability rules. Directories are walked recursively\n"
+          "(skipping data/ and build*/). Exit status: 0 clean,\n"
+          "1 findings, 2 usage/I-O error.\n";
+}
+
+void
+listRules(std::ostream &os)
+{
+    for (const auto *rule : mparch::analysis::allRules())
+        os << rule->name() << "\n    " << rule->summary() << "\n";
+    os << mparch::analysis::suppressionRuleName()
+       << "\n    (meta) malformed or unjustified "
+          "`mparch-lint: allow(...)` comments\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mparch::analysis;
+
+    LintOptions options;
+    std::vector<std::string> paths;
+    std::string jsonPath;
+    bool showSuppressed = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            usage(std::cout);
+            return 0;
+        }
+        if (arg == "--list-rules") {
+            listRules(std::cout);
+            return 0;
+        }
+        if (arg == "--show-suppressed") {
+            showSuppressed = true;
+            continue;
+        }
+        if (arg == "--rule" || arg == "--json") {
+            if (i + 1 >= argc) {
+                std::cerr << "mparch_lint: " << arg
+                          << " needs an argument\n";
+                usage(std::cerr);
+                return 2;
+            }
+            const std::string value = argv[++i];
+            if (arg == "--rule") {
+                if (findRule(value) == nullptr) {
+                    std::cerr << "mparch_lint: unknown rule '"
+                              << value << "' (see --list-rules)\n";
+                    return 2;
+                }
+                options.onlyRules.push_back(value);
+            } else {
+                jsonPath = value;
+            }
+            continue;
+        }
+        if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "mparch_lint: unknown option " << arg
+                      << "\n";
+            usage(std::cerr);
+            return 2;
+        }
+        paths.push_back(arg);
+    }
+    if (paths.empty()) {
+        std::cerr << "mparch_lint: no files or directories given\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    const LintReport report = lintPaths(paths, options);
+    printReport(report, std::cout, showSuppressed);
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::cerr << "mparch_lint: cannot write " << jsonPath
+                      << "\n";
+            return 2;
+        }
+        writeJsonReport(report, out);
+    }
+    if (!report.errors.empty())
+        return 2;
+    return report.active() == 0 ? 0 : 1;
+}
